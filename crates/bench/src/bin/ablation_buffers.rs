@@ -1,0 +1,73 @@
+//! **Ablation** — pipeline depth (§3.1 step 4, extended).
+//!
+//! With no prefetch buffer the get for task *t+1* cannot be issued
+//! until task *t*'s dgemm finishes: communication serializes with
+//! computation (Equation (1) without the overlap term). With the B1/B2
+//! pair the paper reports >90 % of communication hidden on the Linux
+//! cluster. Depths beyond 1 (more buffers) are this crate's extension:
+//! they can help when a single fetch is longer than one task's compute.
+
+use srumma_bench::{fmt, print_table, srumma_gflops_opts, srumma_stats, write_csv};
+use srumma_core::{GemmSpec, SrummaOptions};
+use srumma_model::Machine;
+
+fn main() {
+    let headers = [
+        "machine",
+        "N",
+        "CPUs",
+        "no prefetch",
+        "depth 1 (paper)",
+        "depth 2",
+        "depth 4",
+        "d1 speedup",
+        "overlap %",
+    ];
+    let mut rows = Vec::new();
+    for (machine, nranks) in [
+        (Machine::linux_myrinet(), 16),
+        (Machine::linux_myrinet(), 64),
+        (Machine::ibm_sp(), 64),
+    ] {
+        for n in [1000usize, 2000, 4000, 8000] {
+            let spec = GemmSpec::square(n);
+            let at_depth = |depth: usize| {
+                srumma_gflops_opts(
+                    &machine,
+                    nranks,
+                    &spec,
+                    SrummaOptions {
+                        double_buffer: depth > 0,
+                        prefetch_depth: depth.max(1),
+                        ..Default::default()
+                    },
+                )
+            };
+            let d0 = at_depth(0);
+            let d1 = at_depth(1);
+            let d2 = at_depth(2);
+            let d4 = at_depth(4);
+            let ov = srumma_stats(&machine, nranks, &spec)
+                .mean_overlap()
+                .map(|o| format!("{:.0}", o * 100.0))
+                .unwrap_or_else(|| "-".to_string());
+            rows.push(vec![
+                machine.platform.name().to_string(),
+                n.to_string(),
+                nranks.to_string(),
+                fmt(d0),
+                fmt(d1),
+                fmt(d2),
+                fmt(d4),
+                format!("{:.2}", d1 / d0),
+                ov,
+            ]);
+        }
+    }
+    print_table(
+        "Ablation: prefetch pipeline depth (GFLOP/s)",
+        &headers,
+        &rows,
+    );
+    write_csv("ablation_buffers", &headers, &rows);
+}

@@ -1,0 +1,52 @@
+//! **Ablation (extension)** — SUMMA broadcast schedule: binomial tree
+//! vs DIMMA-style ring, across the platforms. The paper cites DIMMA
+//! ("related to SUMMA but uses a different pipelined communication
+//! scheme"); this harness quantifies that choice inside our pdgemm
+//! stand-in.
+
+use srumma_bench::{fmt, print_table, write_csv};
+use srumma_core::driver::measure_gflops;
+use srumma_core::summa::BcastKind;
+use srumma_core::{Algorithm, GemmSpec, SummaOptions};
+use srumma_model::Machine;
+
+fn main() {
+    let headers = ["machine", "CPUs", "N", "tree bcast", "ring bcast", "ring/tree"];
+    let mut rows = Vec::new();
+    for (machine, nranks) in [
+        (Machine::linux_myrinet(), 64),
+        (Machine::ibm_sp(), 64),
+        (Machine::sgi_altix(), 128),
+    ] {
+        for n in [1000usize, 4000, 8000] {
+            let spec = GemmSpec::square(n);
+            let gf = |bcast: BcastKind| {
+                measure_gflops(
+                    &machine,
+                    nranks,
+                    &Algorithm::Summa(SummaOptions {
+                        panel_nb: None,
+                        bcast,
+                    }),
+                    &spec,
+                )
+            };
+            let tree = gf(BcastKind::Tree);
+            let ring = gf(BcastKind::Ring);
+            rows.push(vec![
+                machine.platform.name().to_string(),
+                nranks.to_string(),
+                n.to_string(),
+                fmt(tree),
+                fmt(ring),
+                format!("{:.2}", ring / tree),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation: SUMMA broadcast schedule, tree vs ring (GFLOP/s)",
+        &headers,
+        &rows,
+    );
+    write_csv("ablation_summa_bcast", &headers, &rows);
+}

@@ -1,0 +1,60 @@
+//! **Ablation** — the two task-ordering policies of §3.1 step 2
+//! (SMP-first and diagonal shift), crossed, on both cluster platforms.
+//!
+//! DESIGN.md calls these out as the design choices to ablate: SMP-first
+//! lets computation start without waiting for the network (fills the
+//! pipeline), the diagonal shift spreads first fetches over source
+//! nodes. The paper observed the shift matters more on wider nodes
+//! (16-way SP vs 2-way Xeon).
+
+use srumma_bench::{fmt, print_table, srumma_gflops_opts, write_csv};
+use srumma_core::{GemmSpec, SrummaOptions};
+use srumma_model::Machine;
+
+fn main() {
+    let headers = [
+        "machine",
+        "N",
+        "CPUs",
+        "both",
+        "shift only",
+        "smp-first only",
+        "neither",
+    ];
+    let mut rows = Vec::new();
+    for (machine, nranks) in [
+        (Machine::linux_myrinet(), 64),
+        (Machine::ibm_sp(), 64),
+    ] {
+        for n in [2000usize, 4000, 8000] {
+            let spec = GemmSpec::square(n);
+            let gf = |smp_first: bool, diagonal_shift: bool| {
+                srumma_gflops_opts(
+                    &machine,
+                    nranks,
+                    &spec,
+                    SrummaOptions {
+                        smp_first,
+                        diagonal_shift,
+                        ..Default::default()
+                    },
+                )
+            };
+            rows.push(vec![
+                machine.platform.name().to_string(),
+                n.to_string(),
+                nranks.to_string(),
+                fmt(gf(true, true)),
+                fmt(gf(false, true)),
+                fmt(gf(true, false)),
+                fmt(gf(false, false)),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation: task ordering policies (GFLOP/s)",
+        &headers,
+        &rows,
+    );
+    write_csv("ablation_taskorder", &headers, &rows);
+}

@@ -1,0 +1,42 @@
+//! **Figure 6** — Bandwidth comparison on the Cray X1.
+//!
+//! The paper plots achieved bandwidth vs message size for the X1's
+//! shared-memory path against MPI send/receive: the load/store fabric
+//! dwarfs MPI at every size beyond the latency range, which is why
+//! SRUMMA's shm-based communication wins so big there.
+
+use srumma_bench::{fmt, print_table, write_csv};
+use srumma_model::bandwidth::{achieved_bandwidth, standard_sizes};
+use srumma_model::protocol::Protocol;
+use srumma_model::Machine;
+
+fn main() {
+    let m = Machine::cray_x1();
+    let headers = ["bytes", "shmem copy MB/s", "direct ld/st MB/s", "MPI send/recv MB/s"];
+    let rows: Vec<Vec<String>> = standard_sizes()
+        .into_iter()
+        .map(|bytes| {
+            let shm = achieved_bandwidth(&m, Protocol::ShmCopy, bytes, true) / 1e6;
+            let ld = achieved_bandwidth(&m, Protocol::DirectLoadStore, bytes, true) / 1e6;
+            // The X1 is a single shared-memory domain: its MPI is the
+            // intra-domain (shm-channel) implementation.
+            let mpi = achieved_bandwidth(&m, Protocol::MpiSendRecv, bytes, false) / 1e6;
+            vec![bytes.to_string(), fmt(shm), fmt(ld), fmt(mpi)]
+        })
+        .collect();
+    print_table(
+        "Figure 6: bandwidth comparison on Cray X1 (shm vs MPI)",
+        &headers,
+        &rows,
+    );
+    write_csv("fig06_bandwidth_x1", &headers, &rows);
+
+    // Paper's qualitative claim: shm far above MPI at large sizes.
+    let big = 4 << 20;
+    let shm = achieved_bandwidth(&m, Protocol::ShmCopy, big, true);
+    let mpi = achieved_bandwidth(&m, Protocol::MpiSendRecv, big, false);
+    println!(
+        "\nlarge-message ratio shm/MPI = {:.1}x (paper: shm >> MPI)",
+        shm / mpi
+    );
+}

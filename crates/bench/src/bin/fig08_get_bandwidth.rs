@@ -1,0 +1,76 @@
+//! **Figure 8** — Performance of MPI send/recv vs `ARMCI_Get` on the
+//! IBM SP (top) and Myrinet (bottom).
+//!
+//! Shape to reproduce: MPI wins the short-message range (a get pays a
+//! request *and* a reply latency — worse still on the SP where LAPI's
+//! AIX interrupt processing inflates it), while ARMCI's get sustains
+//! higher bandwidth from the mid range up.
+
+use srumma_bench::{fmt, print_table, write_csv};
+use srumma_comm::{sim_run, Comm, DistMatrix, SimOptions};
+use srumma_model::bandwidth::{achieved_bandwidth, standard_sizes};
+use srumma_model::machine::RanksPerDomain;
+use srumma_model::protocol::Protocol;
+use srumma_model::{Machine, ProcGrid};
+
+/// Measured get bandwidth under the simulator: a blocking get of
+/// `bytes` from a rank on another node, timed in virtual seconds.
+fn measured_get_mbps(machine: &Machine, bytes: usize) -> f64 {
+    let width = match machine.ranks_per_domain {
+        RanksPerDomain::Fixed(w) => w,
+        RanksPerDomain::WholeMachine => 1,
+    };
+    let nranks = 2 * width;
+    let peer = width;
+    let rows = (bytes / 8).max(1);
+    let mat = DistMatrix::create_virtual(ProcGrid::new(1, nranks), rows, nranks);
+    let opts = SimOptions::new(machine.clone(), nranks);
+    let res = sim_run(&opts, |c| {
+        if c.rank() != 0 {
+            return 0.0;
+        }
+        let t0 = c.now();
+        let mut buf = Vec::new();
+        c.get(&mat, peer, &mut buf);
+        let secs = c.now() - t0;
+        mat.block_bytes(peer) as f64 / secs / 1e6
+    });
+    res.outputs[0]
+}
+
+fn main() {
+    for machine in [Machine::ibm_sp(), Machine::linux_myrinet()] {
+        let headers = [
+            "bytes",
+            "ARMCI_Get MB/s",
+            "ARMCI_Get measured MB/s",
+            "MPI send/recv MB/s",
+        ];
+        let rows: Vec<Vec<String>> = standard_sizes()
+            .into_iter()
+            .map(|bytes| {
+                let get = achieved_bandwidth(&machine, Protocol::ArmciGet, bytes, true) / 1e6;
+                let meas = measured_get_mbps(&machine, bytes);
+                let mpi = achieved_bandwidth(&machine, Protocol::MpiSendRecv, bytes, true) / 1e6;
+                vec![bytes.to_string(), fmt(get), fmt(meas), fmt(mpi)]
+            })
+            .collect();
+        let title = format!(
+            "Figure 8: MPI vs ARMCI_Get bandwidth — {}",
+            machine.platform.name()
+        );
+        print_table(&title, &headers, &rows);
+        write_csv(
+            &format!("fig08_get_bandwidth_{:?}", machine.platform).to_lowercase(),
+            &headers,
+            &rows,
+        );
+
+        // Locate the crossover (paper: small messages MPI, large ARMCI).
+        let crossover = standard_sizes().into_iter().find(|&b| {
+            achieved_bandwidth(&machine, Protocol::ArmciGet, b, true)
+                > achieved_bandwidth(&machine, Protocol::MpiSendRecv, b, true)
+        });
+        println!("\n  ARMCI_Get overtakes MPI at {crossover:?} bytes");
+    }
+}

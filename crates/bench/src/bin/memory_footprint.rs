@@ -1,0 +1,58 @@
+//! **Paper claim check** — "the described algorithm is more general,
+//! memory efficient": per-rank extra buffer bytes for each algorithm
+//! across the paper's configurations. On cacheable shared memory
+//! SRUMMA's footprint is literally zero (direct access); on clusters it
+//! is the fixed B1/B2 pair, independent of the grid shape.
+
+use srumma_bench::{print_table, write_csv};
+use srumma_core::memory::{cannon_footprint, srumma_footprint, summa_footprint};
+use srumma_core::{GemmSpec, SrummaOptions, SummaOptions};
+use srumma_model::ProcGrid;
+
+fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e6)
+}
+
+fn main() {
+    let headers = [
+        "N",
+        "CPUs",
+        "SRUMMA cluster MB",
+        "SRUMMA direct MB",
+        "Cannon MB",
+        "pdgemm MB",
+    ];
+    let mut rows = Vec::new();
+    for (n, p) in [
+        (2000usize, 16usize),
+        (4000, 64),
+        (8000, 128),
+        (12000, 128),
+        (16000, 256),
+    ] {
+        let spec = GemmSpec::square(n);
+        let grid = ProcGrid::near_square(p);
+        let s_cluster = srumma_footprint(&spec, grid, &SrummaOptions::default(), false);
+        let s_direct = srumma_footprint(&spec, grid, &SrummaOptions::default(), true);
+        let cannon = cannon_footprint(&spec, grid);
+        let summa = summa_footprint(&spec, grid, &SummaOptions::default());
+        rows.push(vec![
+            n.to_string(),
+            p.to_string(),
+            mb(s_cluster.buffer_bytes),
+            mb(s_direct.buffer_bytes),
+            mb(cannon.buffer_bytes),
+            mb(summa.buffer_bytes),
+        ]);
+    }
+    print_table(
+        "Per-rank working-buffer footprint (MB beyond owned blocks)",
+        &headers,
+        &rows,
+    );
+    write_csv("memory_footprint", &headers, &rows);
+    println!(
+        "\npaper: SRUMMA is \"more general, memory efficient\" — zero extra memory with\n\
+         direct access, a fixed two-buffer pipeline otherwise; Cannon stages twice as much."
+    );
+}

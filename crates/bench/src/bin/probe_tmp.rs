@@ -1,0 +1,22 @@
+use srumma_comm::{sim_run, SimOptions};
+use srumma_core::layout::{dist_a, dist_b, dist_c};
+use srumma_core::{parallel_gemm, Algorithm, GemmSpec, SrummaOptions};
+use srumma_model::machine::RanksPerDomain;
+use srumma_model::Machine;
+
+fn main() {
+    let mut m = Machine::linux_myrinet();
+    m.ranks_per_domain = RanksPerDomain::Fixed(4);
+    let spec = GemmSpec::square(1000);
+    let grid = srumma_core::driver::default_grid(16);
+    let da = dist_a(&spec, grid, false);
+    let db = dist_b(&spec, grid, false);
+    let dc = dist_c(&spec, grid, false);
+    let mut opts = SimOptions::new(m, 16);
+    opts.trace = true;
+    let alg = Algorithm::Srumma(SrummaOptions { diagonal_shift: true, ..Default::default() });
+    let res = sim_run(&opts, |c| { parallel_gemm(c, &alg, &spec, &da, &db, &dc); });
+    for e in res.trace.iter().filter(|e| e.rank == 5) {
+        println!("r5 {:>8.3}..{:>8.3} ms {:?} {}", e.t0*1e3, e.t1*1e3, e.kind, e.label);
+    }
+}

@@ -1,0 +1,64 @@
+//! **Beyond the paper** — sensitivity of SRUMMA's advantage to the
+//! network. The paper's gains come from hiding slow-network time and
+//! dodging MPI's shared-memory bottlenecks; this sweep asks what
+//! happens as the interconnect gets faster or slower than Myrinet-2000
+//! (a 2024-grade fabric is ~100× faster): where does the SRUMMA-vs-
+//! pdgemm ratio go, and how much of the win is protocol (overlap)
+//! versus raw bandwidth?
+
+use srumma_bench::{fmt, pdgemm_best, print_table, srumma_gflops, srumma_stats, write_csv};
+use srumma_core::GemmSpec;
+use srumma_model::isoeff::EqModel;
+use srumma_model::Machine;
+
+fn scaled_network(factor: f64) -> Machine {
+    let mut m = Machine::linux_myrinet();
+    m.net.rma_bandwidth *= factor;
+    m.net.mpi_bandwidth *= factor;
+    m.net.mpi_shm_bandwidth *= factor;
+    m.net.rma_latency /= factor.sqrt();
+    m.net.mpi_latency /= factor.sqrt();
+    m
+}
+
+fn main() {
+    let nranks = 64;
+    let spec = GemmSpec::square(4000);
+    let headers = [
+        "net speed vs Myrinet",
+        "SRUMMA GF/s",
+        "pdgemm GF/s",
+        "ratio",
+        "overlap %",
+        "eta Eq.(1)",
+    ];
+    let mut rows = Vec::new();
+    for factor in [0.25, 0.5, 1.0, 2.0, 8.0, 32.0, 128.0] {
+        let m = scaled_network(factor);
+        let s = srumma_gflops(&m, nranks, &spec);
+        let (p, _) = pdgemm_best(&m, nranks, &spec);
+        let ov = srumma_stats(&m, nranks, &spec)
+            .mean_overlap()
+            .map(|o| format!("{:.0}", o * 100.0))
+            .unwrap_or_else(|| "-".into());
+        let eq = EqModel::from_machine(&m, spec.m / 8);
+        rows.push(vec![
+            format!("{factor}x"),
+            fmt(s),
+            fmt(p),
+            format!("{:.2}", s / p),
+            ov,
+            format!("{:.2}", eq.efficiency(spec.m, nranks)),
+        ]);
+    }
+    print_table(
+        "Sensitivity: SRUMMA vs pdgemm as the network scales (Linux profile, 64 CPUs, N=4000)",
+        &headers,
+        &rows,
+    );
+    write_csv("sensitivity", &headers, &rows);
+    println!(
+        "\nreading: on very fast fabrics both algorithms converge to the dgemm rate;\n\
+         SRUMMA's margin is largest exactly where 2004 hardware lived."
+    );
+}

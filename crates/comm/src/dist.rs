@@ -1,0 +1,548 @@
+//! 2-D block-distributed matrices.
+//!
+//! SRUMMA assumes "the regular block distribution of the matrices A, B,
+//! and C" over a `p × q` process grid: process `(i, j)` owns the
+//! `(i, j)` block of every matrix, stored densely in that process's
+//! segment of the shared arena (so whole blocks are contiguous and a
+//! one-sided get of a block is a single transfer).
+//!
+//! A `DistMatrix` can be **real-backed** (a shared arena holds actual
+//! elements — used by tests and host-parallel runs) or **virtual**
+//! (shape only — used by modeled paper-scale experiments where a
+//! 16000×16000 matrix would otherwise cost 2 GiB per operand).
+
+use crate::arena::SharedArena;
+use srumma_dense::{MatMut, MatRef, Matrix};
+use srumma_model::ProcGrid;
+use std::sync::Arc;
+
+/// Near-even 1-D partition: the first `n % parts` chunks get one extra
+/// element. Returns the start of chunk `i`.
+pub fn chunk_start(n: usize, parts: usize, i: usize) -> usize {
+    let base = n / parts;
+    let rem = n % parts;
+    i * base + i.min(rem)
+}
+
+/// Length of chunk `i` in a near-even 1-D partition.
+pub fn chunk_len(n: usize, parts: usize, i: usize) -> usize {
+    let base = n / parts;
+    let rem = n % parts;
+    base + usize::from(i < rem)
+}
+
+enum Backing {
+    /// Shape only; no elements exist.
+    Virtual,
+    /// Real elements in a shared arena, one region per rank.
+    Real(Arc<SharedArena>),
+}
+
+/// How grid blocks map to rank ids.
+///
+/// `RowMajor` is the normal placement (block `(i, j)` → rank
+/// `i·q + j`). `ColMajor` (block `(i, j)` → rank `j·p + i`) is used for
+/// *transposed-storage* operands so that the rank owning the stored
+/// block `Aᵀ(l, i)` is the same rank that owns the logical block
+/// `op(A)(i, l)` — keeping SUMMA's row/column broadcast structure valid
+/// for the `T` cases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RankOrder {
+    /// Block `(i, j)` owned by rank `i·q + j`.
+    #[default]
+    RowMajor,
+    /// Block `(i, j)` owned by rank `j·p + i`.
+    ColMajor,
+}
+
+/// A dense matrix distributed in 2-D blocks over a process grid.
+pub struct DistMatrix {
+    grid: ProcGrid,
+    rows: usize,
+    cols: usize,
+    order: RankOrder,
+    backing: Backing,
+}
+
+impl DistMatrix {
+    /// Create a **real-backed** distributed matrix (collective
+    /// allocation — call once, before launching rank code, like
+    /// `ARMCI_Malloc`).
+    pub fn create(grid: ProcGrid, rows: usize, cols: usize) -> Self {
+        Self::create_with_order(grid, rows, cols, RankOrder::RowMajor, true)
+    }
+
+    /// Create a **virtual** distributed matrix (shape only) for modeled
+    /// experiments.
+    pub fn create_virtual(grid: ProcGrid, rows: usize, cols: usize) -> Self {
+        Self::create_with_order(grid, rows, cols, RankOrder::RowMajor, false)
+    }
+
+    /// Full-control constructor: rank placement order and backing.
+    pub fn create_with_order(
+        grid: ProcGrid,
+        rows: usize,
+        cols: usize,
+        order: RankOrder,
+        real: bool,
+    ) -> Self {
+        let backing = if real {
+            let lens: Vec<usize> = (0..grid.nranks())
+                .map(|r| {
+                    let (br, bc) = Self::dims_for(grid, rows, cols, order, r);
+                    br * bc
+                })
+                .collect();
+            let (arena, _offsets) = SharedArena::new(&lens);
+            Backing::Real(arena)
+        } else {
+            Backing::Virtual
+        };
+        DistMatrix {
+            grid,
+            rows,
+            cols,
+            order,
+            backing,
+        }
+    }
+
+    /// Grid coordinates of the block owned by `rank`.
+    pub fn block_coords(&self, rank: usize) -> (usize, usize) {
+        match self.order {
+            RankOrder::RowMajor => self.grid.coords(rank),
+            RankOrder::ColMajor => (rank % self.grid.p, rank / self.grid.p),
+        }
+    }
+
+    /// Whether real elements back this matrix.
+    pub fn is_real(&self) -> bool {
+        matches!(self.backing, Backing::Real(_))
+    }
+
+    pub fn grid(&self) -> ProcGrid {
+        self.grid
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn dims_for(
+        grid: ProcGrid,
+        rows: usize,
+        cols: usize,
+        order: RankOrder,
+        rank: usize,
+    ) -> (usize, usize) {
+        let (pi, pj) = match order {
+            RankOrder::RowMajor => grid.coords(rank),
+            RankOrder::ColMajor => (rank % grid.p, rank / grid.p),
+        };
+        (
+            chunk_len(rows, grid.p, pi),
+            chunk_len(cols, grid.q, pj),
+        )
+    }
+
+    /// `(rows, cols)` of the block owned by `rank`.
+    pub fn block_dims(&self, rank: usize) -> (usize, usize) {
+        Self::dims_for(self.grid, self.rows, self.cols, self.order, rank)
+    }
+
+    /// Global `(row, col)` of the top-left element of `rank`'s block.
+    pub fn block_origin(&self, rank: usize) -> (usize, usize) {
+        let (pi, pj) = self.block_coords(rank);
+        (
+            chunk_start(self.rows, self.grid.p, pi),
+            chunk_start(self.cols, self.grid.q, pj),
+        )
+    }
+
+    /// Rank owning grid block `(bi, bj)`.
+    pub fn owner(&self, bi: usize, bj: usize) -> usize {
+        debug_assert!(bi < self.grid.p && bj < self.grid.q);
+        match self.order {
+            RankOrder::RowMajor => self.grid.rank_at(bi, bj),
+            RankOrder::ColMajor => bj * self.grid.p + bi,
+        }
+    }
+
+    /// Size in bytes of `rank`'s block.
+    pub fn block_bytes(&self, rank: usize) -> u64 {
+        let (r, c) = self.block_dims(rank);
+        (r * c * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Read access to `rank`'s block (None data if virtual).
+    pub fn read_block(&self, rank: usize) -> BlockRead<'_> {
+        let (rows, cols) = self.block_dims(rank);
+        let guard = match &self.backing {
+            Backing::Virtual => None,
+            Backing::Real(arena) => Some(arena.read_guard(rank)),
+        };
+        BlockRead { rows, cols, guard }
+    }
+
+    /// Write access to `rank`'s block (no-op handle if virtual).
+    pub fn write_block(&self, rank: usize) -> BlockWrite<'_> {
+        let (rows, cols) = self.block_dims(rank);
+        let guard = match &self.backing {
+            Backing::Virtual => None,
+            Backing::Real(arena) => Some(arena.write_guard(rank)),
+        };
+        BlockWrite { rows, cols, guard }
+    }
+
+    /// Copy `rank`'s block into `dst` (resized to fit). For a virtual
+    /// matrix, `dst` is cleared. Returns the block dims. This is the
+    /// data-movement half of a one-sided get; the timing half lives in
+    /// the backend.
+    pub fn copy_block_into(&self, rank: usize, dst: &mut Vec<f64>) -> (usize, usize) {
+        let (rows, cols) = self.block_dims(rank);
+        match &self.backing {
+            Backing::Virtual => dst.clear(),
+            Backing::Real(arena) => {
+                let g = arena.read_guard(rank);
+                dst.clear();
+                dst.extend_from_slice(g.slice());
+            }
+        }
+        (rows, cols)
+    }
+
+    /// Overwrite `rank`'s block from `src` (the data-movement half of a
+    /// one-sided **put**; timing lives in the backend). No-op on
+    /// virtual backing. `src` may be empty (modeled runs); otherwise it
+    /// must hold exactly the block's elements, row-major.
+    pub fn copy_block_from(&self, rank: usize, src: &[f64]) {
+        let (rows, cols) = self.block_dims(rank);
+        let Backing::Real(arena) = &self.backing else {
+            return;
+        };
+        if src.is_empty() && rows * cols > 0 {
+            return; // modeled payload
+        }
+        assert_eq!(src.len(), rows * cols, "put payload size mismatch");
+        let mut g = arena.write_guard(rank);
+        g.slice_mut().copy_from_slice(src);
+    }
+
+    /// Accumulate `scale * src` into `rank`'s block elementwise (the
+    /// data half of an ARMCI-style **accumulate**). No-op on virtual
+    /// backing or empty payloads.
+    pub fn acc_block_from(&self, rank: usize, scale: f64, src: &[f64]) {
+        let (rows, cols) = self.block_dims(rank);
+        let Backing::Real(arena) = &self.backing else {
+            return;
+        };
+        if src.is_empty() && rows * cols > 0 {
+            return;
+        }
+        assert_eq!(src.len(), rows * cols, "acc payload size mismatch");
+        let mut g = arena.write_guard(rank);
+        for (d, s) in g.slice_mut().iter_mut().zip(src) {
+            *d += scale * s;
+        }
+    }
+
+    /// Scale `rank`'s block in place (the `β·C` pre-pass of a full
+    /// `C ← α·op(A)op(B) + β·C`). No-op on virtual backing.
+    pub fn scale_block(&self, rank: usize, beta: f64) {
+        if beta == 1.0 {
+            return;
+        }
+        let Backing::Real(arena) = &self.backing else {
+            return;
+        };
+        let mut g = arena.write_guard(rank);
+        if beta == 0.0 {
+            g.slice_mut().fill(0.0);
+        } else {
+            for v in g.slice_mut() {
+                *v *= beta;
+            }
+        }
+    }
+
+    /// Fill all blocks from a global matrix (real backing only; call
+    /// from one thread between operations).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or virtual backing.
+    pub fn scatter(&self, global: &Matrix) {
+        assert_eq!((global.rows(), global.cols()), (self.rows, self.cols));
+        let Backing::Real(arena) = &self.backing else {
+            panic!("scatter() on a virtual DistMatrix");
+        };
+        for rank in 0..self.grid.nranks() {
+            let (r0, c0) = self.block_origin(rank);
+            let (br, bc) = self.block_dims(rank);
+            let mut w = arena.write_guard(rank);
+            let dst = w.slice_mut();
+            for i in 0..br {
+                let src = &global.as_slice()[(r0 + i) * self.cols + c0..][..bc];
+                dst[i * bc..(i + 1) * bc].copy_from_slice(src);
+            }
+        }
+    }
+
+    /// Assemble the global matrix from all blocks (real backing only).
+    pub fn gather(&self) -> Matrix {
+        let Backing::Real(arena) = &self.backing else {
+            panic!("gather() on a virtual DistMatrix");
+        };
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for rank in 0..self.grid.nranks() {
+            let (r0, c0) = self.block_origin(rank);
+            let (br, bc) = self.block_dims(rank);
+            let g = arena.read_guard(rank);
+            let src = g.slice();
+            for i in 0..br {
+                out.as_mut_slice()[(r0 + i) * self.cols + c0..][..bc]
+                    .copy_from_slice(&src[i * bc..(i + 1) * bc]);
+            }
+        }
+        out
+    }
+
+    /// Total bytes of the whole matrix.
+    pub fn total_bytes(&self) -> u64 {
+        (self.rows * self.cols * std::mem::size_of::<f64>()) as u64
+    }
+}
+
+/// Read handle to one block: dims always, data only if real-backed.
+pub struct BlockRead<'a> {
+    rows: usize,
+    cols: usize,
+    guard: Option<crate::arena::ReadGuard<'a>>,
+}
+
+impl BlockRead<'_> {
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Dense view of the block, if real-backed.
+    pub fn mat(&self) -> Option<MatRef<'_>> {
+        self.guard
+            .as_ref()
+            .map(|g| MatRef::new(self.rows, self.cols, self.cols, g.slice()))
+    }
+}
+
+/// Write handle to one block.
+pub struct BlockWrite<'a> {
+    rows: usize,
+    cols: usize,
+    guard: Option<crate::arena::WriteGuard<'a>>,
+}
+
+impl BlockWrite<'_> {
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Mutable dense view of the block, if real-backed.
+    pub fn mat_mut(&mut self) -> Option<MatMut<'_>> {
+        let (rows, cols) = (self.rows, self.cols);
+        self.guard
+            .as_mut()
+            .map(|g| MatMut::new(rows, cols, cols, g.slice_mut()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_is_near_even_and_covers() {
+        for (n, parts) in [(10, 3), (7, 7), (5, 2), (100, 16), (3, 5)] {
+            let mut total = 0;
+            let mut prev_end = 0;
+            for i in 0..parts {
+                assert_eq!(chunk_start(n, parts, i), prev_end);
+                let len = chunk_len(n, parts, i);
+                total += len;
+                prev_end += len;
+            }
+            assert_eq!(total, n, "n={n} parts={parts}");
+            // Sizes differ by at most one.
+            let sizes: Vec<usize> = (0..parts).map(|i| chunk_len(n, parts, i)).collect();
+            let mx = *sizes.iter().max().unwrap();
+            let mn = *sizes.iter().min().unwrap();
+            assert!(mx - mn <= 1);
+        }
+    }
+
+    #[test]
+    fn block_dims_tile_the_matrix() {
+        let grid = ProcGrid::new(3, 4);
+        let m = DistMatrix::create(grid, 10, 9);
+        let total: usize = (0..grid.nranks())
+            .map(|r| {
+                let (a, b) = m.block_dims(r);
+                a * b
+            })
+            .sum();
+        assert_eq!(total, 90);
+        // Block origins + dims must land exactly on neighbours.
+        let (o, _) = m.block_origin(grid.rank_at(1, 0));
+        let (d, _) = m.block_dims(grid.rank_at(0, 0));
+        assert_eq!(o, d);
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let grid = ProcGrid::new(2, 3);
+        let m = DistMatrix::create(grid, 7, 8);
+        let global = Matrix::random(7, 8, 99);
+        m.scatter(&global);
+        assert_eq!(m.gather(), global);
+    }
+
+    #[test]
+    fn block_views_address_the_right_elements() {
+        let grid = ProcGrid::new(2, 2);
+        let m = DistMatrix::create(grid, 4, 4);
+        let global = Matrix::from_fn(4, 4, |i, j| (i * 10 + j) as f64);
+        m.scatter(&global);
+        // Rank 3 owns the bottom-right 2x2 block.
+        let b = m.read_block(3);
+        let v = b.mat().unwrap();
+        assert_eq!(v.at(0, 0), 22.0);
+        assert_eq!(v.at(1, 1), 33.0);
+    }
+
+    #[test]
+    fn write_block_modifies_gather() {
+        let grid = ProcGrid::new(2, 2);
+        let m = DistMatrix::create(grid, 4, 4);
+        {
+            let mut w = m.write_block(0);
+            w.mat_mut().unwrap().fill(5.0);
+        }
+        let g = m.gather();
+        assert_eq!(g[(0, 0)], 5.0);
+        assert_eq!(g[(1, 1)], 5.0);
+        assert_eq!(g[(2, 2)], 0.0);
+    }
+
+    #[test]
+    fn copy_block_into_matches_read() {
+        let grid = ProcGrid::new(2, 2);
+        let m = DistMatrix::create(grid, 5, 5);
+        let global = Matrix::random(5, 5, 7);
+        m.scatter(&global);
+        let mut buf = Vec::new();
+        let (r, c) = m.copy_block_into(2, &mut buf);
+        assert_eq!(buf.len(), r * c);
+        let b = m.read_block(2);
+        assert_eq!(b.mat().unwrap().data()[..r * c], buf[..]);
+    }
+
+    #[test]
+    fn virtual_matrix_has_shape_but_no_data() {
+        let grid = ProcGrid::new(4, 4);
+        let m = DistMatrix::create_virtual(grid, 16000, 16000);
+        assert!(!m.is_real());
+        assert_eq!(m.block_dims(0), (4000, 4000));
+        assert_eq!(m.block_bytes(0), 128_000_000);
+        assert!(m.read_block(0).mat().is_none());
+        let mut buf = vec![1.0];
+        let (r, c) = m.copy_block_into(0, &mut buf);
+        assert_eq!((r, c), (4000, 4000));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual DistMatrix")]
+    fn scatter_virtual_panics() {
+        let m = DistMatrix::create_virtual(ProcGrid::new(1, 1), 2, 2);
+        m.scatter(&Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn uneven_distribution_block_origins() {
+        // 5 rows over p=2: rows 0..3 and 3..5.
+        let grid = ProcGrid::new(2, 1);
+        let m = DistMatrix::create(grid, 5, 4);
+        assert_eq!(m.block_dims(0), (3, 4));
+        assert_eq!(m.block_dims(1), (2, 4));
+        assert_eq!(m.block_origin(1), (3, 0));
+    }
+
+    #[test]
+    fn owner_matches_grid() {
+        let grid = ProcGrid::new(3, 2);
+        let m = DistMatrix::create_virtual(grid, 6, 6);
+        assert_eq!(m.owner(2, 1), grid.rank_at(2, 1));
+    }
+}
+
+#[cfg(test)]
+mod put_acc_tests {
+    use super::*;
+
+    #[test]
+    fn put_overwrites_a_block() {
+        let grid = ProcGrid::new(2, 2);
+        let m = DistMatrix::create(grid, 4, 4);
+        let payload = vec![7.0; 4];
+        m.copy_block_from(3, &payload);
+        let b = m.read_block(3);
+        assert!(b.mat().unwrap().data()[..4].iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn acc_accumulates_scaled() {
+        let grid = ProcGrid::new(1, 1);
+        let m = DistMatrix::create(grid, 2, 2);
+        m.copy_block_from(0, &[1.0, 2.0, 3.0, 4.0]);
+        m.acc_block_from(0, 0.5, &[2.0, 2.0, 2.0, 2.0]);
+        let b = m.read_block(0);
+        assert_eq!(b.mat().unwrap().data(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn scale_block_handles_zero_and_identity() {
+        let grid = ProcGrid::new(1, 1);
+        let m = DistMatrix::create(grid, 2, 2);
+        m.copy_block_from(0, &[1.0, f64::NAN, 3.0, 4.0]);
+        m.scale_block(0, 1.0); // no-op, NaN preserved
+        assert!(m.read_block(0).mat().unwrap().data()[1].is_nan());
+        m.scale_block(0, 0.0); // must clear even NaN
+        assert!(m.read_block(0).mat().unwrap().data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn virtual_put_acc_are_noops() {
+        let grid = ProcGrid::new(2, 2);
+        let m = DistMatrix::create_virtual(grid, 8, 8);
+        m.copy_block_from(0, &[]);
+        m.acc_block_from(1, 2.0, &[]);
+        m.scale_block(2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "put payload size mismatch")]
+    fn put_wrong_size_panics() {
+        let grid = ProcGrid::new(1, 1);
+        let m = DistMatrix::create(grid, 2, 2);
+        m.copy_block_from(0, &[1.0]);
+    }
+}

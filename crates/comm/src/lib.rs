@@ -1,0 +1,43 @@
+//! # srumma-comm — the communication substrate (ARMCI & MPI stand-ins)
+//!
+//! The paper's implementation sits on ARMCI: a collective shared-memory
+//! allocator (`ARMCI_Malloc`), one-sided nonblocking get/put, and a
+//! cluster-locality query that tells each process which peers it can
+//! reach through plain load/store. This crate rebuilds that layer — and
+//! the MPI-style two-sided operations the baselines (Cannon,
+//! SUMMA/pdgemm) need — over two interchangeable backends:
+//!
+//! * [`SimComm`](simbackend::SimComm) — runs under the virtual-time
+//!   simulator (`srumma-sim`) with costs from `srumma-model`. Data
+//!   movement is *real* when matrices carry real backing (tests verify
+//!   numerics end-to-end) and elided for paper-scale modeled runs.
+//! * [`ThreadComm`](threadbackend::ThreadComm) — real host threads in
+//!   one shared-memory domain, real memcpys, wall-clock timing: the
+//!   "SGI Altix flavor" made concrete on today's hardware.
+//!
+//! Algorithms in `srumma-core` are generic over the [`Comm`] trait, so
+//! the *same* SRUMMA/Cannon/SUMMA code runs on both backends.
+//!
+//! ## Module map
+//!
+//! * [`arena`] — the shared allocation (`ArmciHeap` stand-in) with a
+//!   debug-build access checker.
+//! * [`dist`] — [`dist::DistMatrix`]: 2-D block-distributed matrices
+//!   over a process grid, with optional real backing.
+//! * [`comm`] — the [`Comm`] trait and block handle types.
+//! * [`simbackend`] / [`threadbackend`] — the two implementations.
+//! * [`mpi`] — two-sided collectives (broadcast, shift, allgather) built
+//!   on `Comm::send`/`Comm::recv`, used by the baselines.
+
+pub mod arena;
+pub mod comm;
+pub mod dist;
+pub mod mpi;
+pub mod simbackend;
+pub mod threadbackend;
+
+pub use arena::SharedArena;
+pub use comm::{BlockMut, BlockRef, Comm, GetHandle};
+pub use dist::DistMatrix;
+pub use simbackend::{sim_run, ComputeMode, SimComm, SimOptions};
+pub use threadbackend::{thread_run, ThreadComm, ThreadRunResult};

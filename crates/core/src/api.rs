@@ -1,0 +1,74 @@
+//! The top-level algorithm selector.
+
+use crate::cannon::cannon;
+use crate::options::{GemmSpec, SrummaOptions};
+use crate::srumma::{srumma, SrummaReport};
+use crate::summa::{summa, SummaOptions};
+use srumma_comm::{Comm, DistMatrix};
+
+/// Which parallel matrix-multiplication algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algorithm {
+    /// The paper's algorithm.
+    Srumma(SrummaOptions),
+    /// SUMMA — the ScaLAPACK/PBLAS `pdgemm` stand-in.
+    Summa(SummaOptions),
+    /// Cannon's algorithm (square grids, `C = A·B`).
+    Cannon,
+}
+
+impl Algorithm {
+    /// SRUMMA with default (paper) options.
+    pub fn srumma_default() -> Self {
+        Algorithm::Srumma(SrummaOptions::default())
+    }
+
+    /// SUMMA with the natural panel width.
+    pub fn summa_default() -> Self {
+        Algorithm::Summa(SummaOptions::default())
+    }
+
+    /// Display name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Srumma(_) => "SRUMMA",
+            Algorithm::Summa(_) => "pdgemm (SUMMA)",
+            Algorithm::Cannon => "Cannon",
+        }
+    }
+}
+
+/// Run the selected algorithm collectively. Returns the SRUMMA report
+/// when applicable.
+pub fn parallel_gemm<C: Comm>(
+    comm: &mut C,
+    alg: &Algorithm,
+    spec: &GemmSpec,
+    a: &DistMatrix,
+    b: &DistMatrix,
+    c: &DistMatrix,
+) -> Option<SrummaReport> {
+    match alg {
+        Algorithm::Srumma(opts) => Some(srumma(comm, spec, a, b, c, opts)),
+        Algorithm::Summa(opts) => {
+            summa(comm, spec, a, b, c, opts);
+            None
+        }
+        Algorithm::Cannon => {
+            cannon(comm, spec, a, b, c);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Algorithm::srumma_default().name(), "SRUMMA");
+        assert_eq!(Algorithm::summa_default().name(), "pdgemm (SUMMA)");
+        assert_eq!(Algorithm::Cannon.name(), "Cannon");
+    }
+}

@@ -1,0 +1,116 @@
+//! One-call drivers: allocate, scatter, run, gather.
+//!
+//! These wrap the collective algorithms for the two common usages:
+//!
+//! * [`multiply_verified`] — real data under the simulator (or on
+//!   threads via [`multiply_threads`]): returns the numeric result so
+//!   callers can check it against the serial kernel;
+//! * [`measure_modeled`] — virtual (shape-only) matrices at paper
+//!   scale: returns only timing/statistics.
+
+use crate::api::{parallel_gemm, Algorithm};
+use crate::layout::{dist_a, dist_b, dist_c, scatter_operands};
+use crate::options::GemmSpec;
+use srumma_comm::{sim_run, thread_run, SimOptions};
+use srumma_dense::Matrix;
+use srumma_model::{Machine, ProcGrid};
+use srumma_sim::RunStats;
+
+/// Pick the process grid for `nranks` (most-square factorization —
+/// the ScaLAPACK default and the paper's analysis assumption).
+pub fn default_grid(nranks: usize) -> ProcGrid {
+    ProcGrid::near_square(nranks)
+}
+
+/// Run `alg` on real data under the simulated `machine` and return
+/// `(C, stats)`; `a` is logical `m × k`, `b` logical `k × n`.
+pub fn multiply_verified(
+    machine: &Machine,
+    nranks: usize,
+    alg: &Algorithm,
+    spec: &GemmSpec,
+    a: &Matrix,
+    b: &Matrix,
+) -> (Matrix, RunStats) {
+    let grid = default_grid(nranks);
+    let da = dist_a(spec, grid, true);
+    let db = dist_b(spec, grid, true);
+    let dc = dist_c(spec, grid, true);
+    scatter_operands(spec, &da, &db, a, b);
+    let opts = SimOptions::new(machine.clone(), nranks);
+    let res = sim_run(&opts, |comm| {
+        parallel_gemm(comm, alg, spec, &da, &db, &dc);
+    });
+    (dc.gather(), res.stats)
+}
+
+/// Run `alg` on virtual matrices at paper scale; returns run statistics
+/// (timings, bytes, overlap) only.
+pub fn measure_modeled(
+    machine: &Machine,
+    nranks: usize,
+    alg: &Algorithm,
+    spec: &GemmSpec,
+) -> RunStats {
+    let grid = default_grid(nranks);
+    let da = dist_a(spec, grid, false);
+    let db = dist_b(spec, grid, false);
+    let dc = dist_c(spec, grid, false);
+    let opts = SimOptions::new(machine.clone(), nranks);
+    sim_run(&opts, |comm| {
+        parallel_gemm(comm, alg, spec, &da, &db, &dc);
+    })
+    .stats
+}
+
+/// GFLOP/s of a modeled run (the unit of the paper's figures).
+pub fn measure_gflops(
+    machine: &Machine,
+    nranks: usize,
+    alg: &Algorithm,
+    spec: &GemmSpec,
+) -> f64 {
+    measure_modeled(machine, nranks, alg, spec).gflops(spec.flops())
+}
+
+/// Run `alg` on real data with real host threads (one shared-memory
+/// domain — the Altix configuration on today's hardware). Returns
+/// `(C, wall seconds)`.
+pub fn multiply_threads(
+    nranks: usize,
+    alg: &Algorithm,
+    spec: &GemmSpec,
+    a: &Matrix,
+    b: &Matrix,
+) -> (Matrix, f64) {
+    let grid = default_grid(nranks);
+    let da = dist_a(spec, grid, true);
+    let db = dist_b(spec, grid, true);
+    let dc = dist_c(spec, grid, true);
+    scatter_operands(spec, &da, &db, a, b);
+    let res = thread_run(nranks, |comm| {
+        parallel_gemm(comm, alg, spec, &da, &db, &dc);
+    });
+    (dc.gather(), res.wall_seconds)
+}
+
+/// The serial reference result for verification. `a` and `b` are the
+/// *logical* operands (`m × k` and `k × n`, transposition already
+/// resolved — the same convention as
+/// [`crate::layout::scatter_operands`]), so the reference is simply
+/// `A·B` computed by the serial kernel.
+pub fn serial_reference(spec: &GemmSpec, a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!((a.rows(), a.cols()), (spec.m, spec.k));
+    assert_eq!((b.rows(), b.cols()), (spec.k, spec.n));
+    let mut c = Matrix::zeros(spec.m, spec.n);
+    srumma_dense::dgemm(
+        srumma_dense::Op::N,
+        srumma_dense::Op::N,
+        1.0,
+        a.as_ref(),
+        b.as_ref(),
+        0.0,
+        c.as_mut(),
+    );
+    c
+}

@@ -1,0 +1,49 @@
+//! # srumma-core — SRUMMA and its baselines
+//!
+//! This crate implements the primary contribution of Krishnan &
+//! Nieplocha, *"SRUMMA: A Matrix Multiplication Algorithm Suitable for
+//! Clusters and Scalable Shared Memory Systems"* (IPDPS 2004), together
+//! with the two classic algorithms it is evaluated against:
+//!
+//! * [`srumma::srumma`] — the paper's algorithm: owner-computes over C,
+//!   one-sided nonblocking gets of A/B blocks, locality-aware task
+//!   ordering (SMP-first + diagonal shift), B1/B2 double buffering, and
+//!   the two shared-memory flavors (direct access vs copy-based);
+//! * [`summa::summa`] — SUMMA, the algorithm inside ScaLAPACK/PBLAS
+//!   `pdgemm`, on message-passing broadcasts;
+//! * [`cannon::cannon`] — Cannon's systolic algorithm on ring shifts.
+//!
+//! All three are generic over [`srumma_comm::Comm`], so they run
+//! unchanged under the virtual-time machine simulator (paper-scale
+//! experiments on the four modeled platforms) and on real host threads
+//! (genuine parallel speedup; see the `quickstart` example).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use srumma_core::{Algorithm, GemmSpec};
+//! use srumma_core::driver::{multiply_threads, serial_reference};
+//! use srumma_dense::Matrix;
+//!
+//! let spec = GemmSpec::square(64);
+//! let a = Matrix::random(64, 64, 1);
+//! let b = Matrix::random(64, 64, 2);
+//! let (c, _secs) = multiply_threads(4, &Algorithm::srumma_default(), &spec, &a, &b);
+//! let expect = serial_reference(&spec, &a, &b);
+//! assert!(srumma_dense::max_abs_diff(&c, &expect) < 1e-9);
+//! ```
+
+pub mod api;
+pub mod cannon;
+pub mod driver;
+pub mod layout;
+pub mod memory;
+pub mod options;
+pub mod srumma;
+pub mod summa;
+pub mod taskorder;
+
+pub use api::{parallel_gemm, Algorithm};
+pub use options::{GemmSpec, ShmemFlavor, SrummaOptions};
+pub use srumma::{srumma as srumma_gemm, SrummaReport};
+pub use summa::SummaOptions;

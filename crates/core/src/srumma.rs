@@ -1,0 +1,332 @@
+//! SRUMMA — the paper's algorithm (§3.1 cluster version, §3.2
+//! shared-memory flavors).
+//!
+//! Per rank, for its own C block:
+//!
+//! 1. build the task list `C_ij += op(A)_i[seg] · op(B)[seg]_j`
+//!    ([`crate::taskorder::build_tasks`]);
+//! 2. reorder it — SMP-domain tasks first, remote sweep diagonally
+//!    shifted ([`crate::taskorder::order_tasks`]);
+//! 3. run the prefetch pipeline: while the serial kernel chews on the
+//!    blocks of task *t* (buffer B1), nonblocking gets fill further
+//!    buffers with the blocks of tasks *t+1 … t+depth* (the paper's
+//!    B1/B2 scheme is `prefetch_depth = 1`; deeper pipelines are an
+//!    extension this crate exposes for ablation);
+//! 4. blocks reachable through cacheable shared memory skip the fetch
+//!    entirely and are passed to the kernel *in place* (direct access —
+//!    profitable on the Altix, catastrophic on the X1, Figure 5).
+//!
+//! No rank ever synchronizes with another during the multiply — the
+//! only barrier is the closing one that makes C globally visible,
+//! which is what makes SRUMMA "more asynchronous" than Cannon/SUMMA.
+
+use crate::layout::{a_owner, a_seg_view, b_owner, b_seg_view};
+use crate::options::{GemmSpec, ShmemFlavor, SrummaOptions};
+use crate::taskorder::{build_tasks, diagonal_shift_origin, order_tasks, Task};
+use srumma_comm::{Comm, DistMatrix, GetHandle};
+use srumma_dense::MatRef;
+
+/// Per-rank execution summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SrummaReport {
+    /// Segment tasks executed.
+    pub tasks: usize,
+    /// Blocks fetched with (possibly nonblocking) gets.
+    pub fetched_blocks: usize,
+    /// Blocks passed to the kernel directly from shared memory.
+    pub direct_blocks: usize,
+}
+
+/// How one operand block reaches the kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Source {
+    /// Read in place from the owner's segment of the shared arena.
+    Direct { owner: usize },
+    /// Fetched (shm memcpy or RMA get) into a pipeline buffer.
+    Fetch { owner: usize },
+}
+
+/// One operand's prefetch pipeline: `depth + 1` reusable block buffers
+/// (the paper's B1/B2 at depth 1).
+struct Pipeline {
+    slots: Vec<Slot>,
+}
+
+struct Slot {
+    panel: Option<usize>,
+    buf: Vec<f64>,
+    pending: Option<GetHandle>,
+    dims: (usize, usize),
+}
+
+impl Pipeline {
+    fn new(depth: usize) -> Self {
+        Pipeline {
+            slots: (0..depth + 1)
+                .map(|_| Slot {
+                    panel: None,
+                    buf: Vec::new(),
+                    pending: None,
+                    dims: (0, 0),
+                })
+                .collect(),
+        }
+    }
+
+    fn find(&self, panel: usize) -> Option<usize> {
+        self.slots.iter().position(|s| s.panel == Some(panel))
+    }
+
+    /// Ensure a get has been issued for `panel`. `window` holds the
+    /// panels of the tasks currently in flight (the running task plus
+    /// the prefetch lookahead); a slot holding a window panel is never
+    /// evicted. With `depth + 1` slots a victim always exists.
+    fn ensure_issued<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        mat: &DistMatrix,
+        owner: usize,
+        panel: usize,
+        window: &[usize],
+        fetched: &mut usize,
+    ) -> usize {
+        if let Some(i) = self.find(panel) {
+            return i;
+        }
+        let victim = self
+            .slots
+            .iter()
+            .position(|s| match s.panel {
+                None => true,
+                Some(p) => !window.contains(&p),
+            })
+            .expect("pipeline window larger than slot count");
+        let slot = &mut self.slots[victim];
+        debug_assert!(
+            slot.pending.is_none(),
+            "evicting a slot with a pending get"
+        );
+        slot.dims = mat.block_dims(owner);
+        slot.panel = Some(panel);
+        slot.pending = Some(comm.nbget(mat, owner, &mut slot.buf));
+        *fetched += 1;
+        victim
+    }
+
+    /// Wait (in model time) for the slot's pending get, if any.
+    fn wait_ready<C: Comm>(&mut self, comm: &mut C, idx: usize) {
+        if let Some(h) = self.slots[idx].pending.take() {
+            comm.wait(h);
+        }
+    }
+
+    /// View of the whole stored block held in `idx` (None if virtual).
+    fn view(&self, idx: usize) -> Option<MatRef<'_>> {
+        let s = &self.slots[idx];
+        if s.buf.is_empty() {
+            None
+        } else {
+            let (r, c) = s.dims;
+            Some(MatRef::new(r, c, c, &s.buf))
+        }
+    }
+}
+
+/// Run SRUMMA: `C ← α·op(A)·op(B) + β·C` on this rank's C block.
+///
+/// All ranks must call this collectively with the same `spec`, matrices
+/// (laid out by [`crate::layout`]) and options. A closing barrier makes
+/// the result globally visible.
+pub fn srumma<C: Comm>(
+    comm: &mut C,
+    spec: &GemmSpec,
+    a: &DistMatrix,
+    b: &DistMatrix,
+    c: &DistMatrix,
+    opts: &SrummaOptions,
+) -> SrummaReport {
+    let me = comm.rank();
+    let grid = c.grid();
+    let (gi, gj) = grid.coords(me);
+    let aparts = crate::layout::a_kparts(grid);
+    let bparts = crate::layout::b_kparts(grid);
+    let depth = opts.effective_depth();
+
+    let tasks = build_tasks(spec.k, aparts, bparts);
+    let shift = if opts.diagonal_shift {
+        diagonal_shift_origin(gi, gj, aparts)
+    } else {
+        0
+    };
+
+    // A task is "local" when both its blocks are in this rank's domain.
+    let topo = comm.topology();
+    let is_local = |t: &Task| {
+        topo.same_domain(me, a_owner(spec, grid, gi, t.la))
+            && topo.same_domain(me, b_owner(spec, grid, t.lb, gj))
+    };
+    let order = order_tasks(
+        tasks.len(),
+        &tasks,
+        aparts,
+        shift,
+        opts.smp_first,
+        is_local,
+    );
+
+    // Decide each block's source once.
+    let direct_ok = |owner: usize, comm: &C| match opts.shmem {
+        ShmemFlavor::Auto => comm.prefer_direct_access(owner),
+        ShmemFlavor::ForceCopy => false,
+        ShmemFlavor::ForceDirect => comm.same_domain(owner),
+    };
+
+    let mut report = SrummaReport::default();
+    let mut a_pipe = Pipeline::new(depth);
+    let mut b_pipe = Pipeline::new(depth);
+
+    // Pre-resolve sources per ordered task (A and B independently).
+    let sources: Vec<(Source, Source)> = order
+        .iter()
+        .map(|&idx| {
+            let t = &tasks[idx];
+            let ao = a_owner(spec, grid, gi, t.la);
+            let bo = b_owner(spec, grid, t.lb, gj);
+            let sa = if direct_ok(ao, comm) {
+                Source::Direct { owner: ao }
+            } else {
+                Source::Fetch { owner: ao }
+            };
+            let sb = if direct_ok(bo, comm) {
+                Source::Direct { owner: bo }
+            } else {
+                Source::Fetch { owner: bo }
+            };
+            (sa, sb)
+        })
+        .collect();
+
+    // PBLAS beta pre-pass: the owner scales its block in place. One
+    // flop per C element — negligible next to the 2k flops per element
+    // of the products, so no model time is charged.
+    if spec.beta != 1.0 {
+        c.scale_block(me, spec.beta);
+    }
+
+    let mut cw = c.write_block(me);
+    let (crows, ccols) = (cw.rows(), cw.cols());
+    debug_assert_eq!(crows, srumma_comm::dist::chunk_len(spec.m, grid.p, gi));
+    debug_assert_eq!(ccols, srumma_comm::dist::chunk_len(spec.n, grid.q, gj));
+
+    // Panels of tasks [pos ..= pos + depth]: the eviction-protection
+    // window at position `pos`.
+    let window_a = |pos: usize| -> Vec<usize> {
+        order[pos..(pos + depth + 1).min(order.len())]
+            .iter()
+            .map(|&i| tasks[i].la)
+            .collect()
+    };
+    let window_b = |pos: usize| -> Vec<usize> {
+        order[pos..(pos + depth + 1).min(order.len())]
+            .iter()
+            .map(|&i| tasks[i].lb)
+            .collect()
+    };
+
+    for (pos, &idx) in order.iter().enumerate() {
+        let t = tasks[idx];
+        let (sa, sb) = sources[pos];
+        let wa = window_a(pos);
+        let wb = window_b(pos);
+
+        // Prefetch: issue nonblocking gets for the next `depth` tasks'
+        // blocks (including this task's, if not yet issued) before
+        // waiting — the gets overlap with this task's dgemm (Figure 3).
+        // With depth 0 (ablation) only the current task is fetched,
+        // i.e. every get degenerates to a blocking one.
+        for ahead in 0..=depth {
+            let Some(&nidx) = order.get(pos + ahead) else {
+                break;
+            };
+            let nt = &tasks[nidx];
+            let (nsa, nsb) = sources[pos + ahead];
+            if let Source::Fetch { owner } = nsa {
+                a_pipe.ensure_issued(comm, a, owner, nt.la, &wa, &mut report.fetched_blocks);
+            }
+            if let Source::Fetch { owner } = nsb {
+                b_pipe.ensure_issued(comm, b, owner, nt.lb, &wb, &mut report.fetched_blocks);
+            }
+        }
+
+        // Wait for this task's blocks (no-op if already complete).
+        let a_slot = match sa {
+            Source::Fetch { .. } => {
+                let s = a_pipe.find(t.la).expect("current A panel must be resident");
+                a_pipe.wait_ready(comm, s);
+                Some(s)
+            }
+            Source::Direct { .. } => {
+                report.direct_blocks += 1;
+                None
+            }
+        };
+        let b_slot = match sb {
+            Source::Fetch { .. } => {
+                let s = b_pipe.find(t.lb).expect("current B panel must be resident");
+                b_pipe.wait_ready(comm, s);
+                Some(s)
+            }
+            Source::Direct { .. } => {
+                report.direct_blocks += 1;
+                None
+            }
+        };
+
+        // Kernel call on the segment. Direct blocks borrow the
+        // DistMatrix; fetched ones borrow the pipeline. Read guards
+        // must outlive the gemm call.
+        let seg = t.klen();
+        let direct = a_slot.is_none() || b_slot.is_none();
+        let label = format!("dgemm la={} lb={} k={}..{}", t.la, t.lb, t.k0, t.k1);
+        let a_direct = match sa {
+            Source::Direct { owner } => Some(a.read_block(owner)),
+            _ => None,
+        };
+        let b_direct = match sb {
+            Source::Direct { owner } => Some(b.read_block(owner)),
+            _ => None,
+        };
+        let a_whole: Option<MatRef<'_>> = match (&a_direct, a_slot) {
+            (Some(blk), _) => blk.mat(),
+            (None, Some(s)) => a_pipe.view(s),
+            _ => None,
+        };
+        let b_whole: Option<MatRef<'_>> = match (&b_direct, b_slot) {
+            (Some(blk), _) => blk.mat(),
+            (None, Some(s)) => b_pipe.view(s),
+            _ => None,
+        };
+        let av = a_whole.map(|v| a_seg_view(spec, v, t.rel_a(), seg));
+        let bv = b_whole.map(|v| b_seg_view(spec, v, t.rel_b(), seg));
+        let ta = av.map(|(_, o)| o).unwrap_or(spec.transa);
+        let tb = bv.map(|(_, o)| o).unwrap_or(spec.transb);
+        comm.gemm(
+            ta,
+            tb,
+            crows,
+            ccols,
+            seg,
+            spec.alpha,
+            av.map(|(v, _)| v),
+            bv.map(|(v, _)| v),
+            cw.mat_mut(),
+            direct,
+            &label,
+        );
+        report.tasks += 1;
+    }
+
+    drop(cw);
+    comm.barrier();
+    report
+}

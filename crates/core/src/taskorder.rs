@@ -1,0 +1,250 @@
+//! Task-list construction and the paper's reordering policies (§3.1).
+//!
+//! A task multiplies one k-segment: `C_ij += op(A)_i[k0..k1] ·
+//! op(B)[k0..k1]_j`. Segments come from merging A's k-panels (`q` of
+//! them) with B's (`p`): in the square-grid case they coincide and
+//! there are exactly `q` tasks per rank, matching the paper's
+//! `C_ij = Σ_l A_il B_lj`.
+//!
+//! The order the tasks run in is SRUMMA's core scheduling idea:
+//!
+//! 1. **diagonal shift** — rotate the cyclic k-order so processes that
+//!    share an SMP node start their sweeps at different k-panels,
+//!    spreading their first fetches over different source nodes
+//!    (Figure 4 — reduces NIC contention);
+//! 2. **SMP-first** — move tasks whose blocks are all reachable through
+//!    shared memory to the front, so computation starts immediately
+//!    while the nonblocking gets for remote tasks fill the pipeline.
+
+use srumma_comm::dist::chunk_start;
+#[cfg(test)]
+use srumma_comm::dist::chunk_len;
+
+/// One k-segment task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Task {
+    /// Global k range start.
+    pub k0: usize,
+    /// Global k range end (exclusive).
+    pub k1: usize,
+    /// A k-panel index containing the range.
+    pub la: usize,
+    /// B k-panel index containing the range.
+    pub lb: usize,
+    /// Range start relative to the A panel's k origin.
+    pub k0_rel_a: usize,
+    /// Range start relative to the B panel's k origin.
+    pub k0_rel_b: usize,
+}
+
+impl Task {
+    /// Segment width.
+    pub fn klen(&self) -> usize {
+        self.k1 - self.k0
+    }
+
+    /// Range start relative to the A panel.
+    pub fn rel_a(&self) -> usize {
+        self.k0_rel_a
+    }
+
+    /// Range start relative to the B panel.
+    pub fn rel_b(&self) -> usize {
+        self.k0_rel_b
+    }
+}
+
+/// Merge A's and B's k-partitions into segment tasks in k order.
+///
+/// Invariants (property-tested): segments tile `0..k` exactly; each
+/// segment lies inside exactly one A panel and one B panel.
+pub fn build_tasks(k: usize, aparts: usize, bparts: usize) -> Vec<Task> {
+    assert!(k > 0 && aparts > 0 && bparts > 0);
+    // Gather all panel boundaries from both partitions.
+    let mut bounds: Vec<usize> = Vec::new();
+    for i in 0..aparts {
+        bounds.push(chunk_start(k, aparts, i));
+    }
+    for i in 0..bparts {
+        bounds.push(chunk_start(k, bparts, i));
+    }
+    bounds.push(k);
+    bounds.sort_unstable();
+    bounds.dedup();
+
+    let panel_of = |n: usize, parts: usize, x: usize| -> usize {
+        // Find the chunk containing offset x (x < n).
+        let base = n / parts;
+        let rem = n % parts;
+        if x < rem * (base + 1) {
+            x / (base + 1)
+        } else {
+            rem + (x - rem * (base + 1)) / base.max(1)
+        }
+    };
+
+    bounds
+        .windows(2)
+        .filter(|w| w[1] > w[0])
+        .map(|w| {
+            let (k0, k1) = (w[0], w[1]);
+            let la = panel_of(k, aparts, k0);
+            let lb = panel_of(k, bparts, k0);
+            Task {
+                k0,
+                k1,
+                la,
+                lb,
+                k0_rel_a: k0 - chunk_start(k, aparts, la),
+                k0_rel_b: k0 - chunk_start(k, bparts, lb),
+            }
+        })
+        .collect()
+}
+
+/// Produce the execution order (a permutation of task indices) under
+/// the paper's policies.
+///
+/// * `shift` — diagonal-shift origin: the sweep starts at the first
+///   task whose A panel is `shift % aparts` (0 disables nothing; pass
+///   the caller's grid-dependent stagger).
+/// * `smp_first` — stable-partition tasks whose operands are all
+///   local/in-domain (as reported by `is_local`) to the front.
+pub fn order_tasks(
+    ntasks: usize,
+    tasks: &[Task],
+    aparts: usize,
+    shift: usize,
+    smp_first: bool,
+    mut is_local: impl FnMut(&Task) -> bool,
+) -> Vec<usize> {
+    assert_eq!(ntasks, tasks.len());
+    if !smp_first {
+        // Pure cyclic rotation: start the sweep at the shift panel.
+        let start = tasks
+            .iter()
+            .position(|t| t.la == shift % aparts)
+            .unwrap_or(0);
+        return (0..ntasks).map(|i| (start + i) % ntasks).collect();
+    }
+    // Partition FIRST (in k order), then rotate only the remote
+    // sublist. Rotating before extraction would frequently land the
+    // rotation origin on a local task that is then pulled to the
+    // front, collapsing different ranks' shift origins onto identical
+    // remote sweeps — recreating exactly the contention the shift is
+    // meant to remove.
+    let (mut local, mut remote): (Vec<usize>, Vec<usize>) = (Vec::new(), Vec::new());
+    for (idx, task) in tasks.iter().enumerate() {
+        if is_local(task) {
+            local.push(idx);
+        } else {
+            remote.push(idx);
+        }
+    }
+    if !remote.is_empty() {
+        let rot = shift % remote.len();
+        remote.rotate_left(rot);
+    }
+    local.extend(remote);
+    local
+}
+
+/// The diagonal-shift origin for the process at grid coordinates
+/// `(i, j)`: neighbours on the same node (which differ in `j`, and on
+/// wide nodes in `i` too) start at different panels.
+pub fn diagonal_shift_origin(i: usize, j: usize, aparts: usize) -> usize {
+    (i + j) % aparts.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_partitions_give_one_task_per_panel() {
+        let tasks = build_tasks(100, 4, 4);
+        assert_eq!(tasks.len(), 4);
+        for (l, t) in tasks.iter().enumerate() {
+            assert_eq!(t.la, l);
+            assert_eq!(t.lb, l);
+            assert_eq!(t.klen(), 25);
+            assert_eq!(t.rel_a(), 0);
+            assert_eq!(t.rel_b(), 0);
+        }
+    }
+
+    #[test]
+    fn mismatched_partitions_tile_k_exactly() {
+        for (k, a, b) in [(100, 3, 5), (7, 2, 3), (128, 8, 16), (11, 11, 2)] {
+            let tasks = build_tasks(k, a, b);
+            let mut cursor = 0;
+            for t in &tasks {
+                assert_eq!(t.k0, cursor, "gap at {cursor} (k={k},a={a},b={b})");
+                assert!(t.k1 > t.k0);
+                cursor = t.k1;
+                // Segment must lie inside its panels.
+                assert!(t.k0 >= chunk_start(k, a, t.la));
+                assert!(t.k1 <= chunk_start(k, a, t.la) + chunk_len(k, a, t.la));
+                assert!(t.k0 >= chunk_start(k, b, t.lb));
+                assert!(t.k1 <= chunk_start(k, b, t.lb) + chunk_len(k, b, t.lb));
+                assert_eq!(t.rel_a(), t.k0 - chunk_start(k, a, t.la));
+                assert_eq!(t.rel_b(), t.k0 - chunk_start(k, b, t.lb));
+            }
+            assert_eq!(cursor, k);
+        }
+    }
+
+    #[test]
+    fn segment_count_bounded_by_sum_of_parts() {
+        let tasks = build_tasks(1000, 8, 16);
+        assert!(tasks.len() < 8 + 16);
+        assert!(tasks.len() >= 16);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let tasks = build_tasks(64, 4, 8);
+        let order = order_tasks(tasks.len(), &tasks, 4, 2, true, |t| t.la == 0);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..tasks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rotation_starts_at_shift_panel() {
+        let tasks = build_tasks(64, 4, 4);
+        let order = order_tasks(tasks.len(), &tasks, 4, 2, false, |_| false);
+        assert_eq!(tasks[order[0]].la, 2);
+        // Cyclic k-order is preserved.
+        assert_eq!(order, vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn smp_first_pulls_local_tasks_forward_preserving_order() {
+        let tasks = build_tasks(100, 5, 5);
+        // Panels 1 and 3 are "local".
+        let order = order_tasks(tasks.len(), &tasks, 5, 0, true, |t| t.la == 1 || t.la == 3);
+        assert_eq!(tasks[order[0]].la, 1);
+        assert_eq!(tasks[order[1]].la, 3);
+        // Remote remainder keeps cyclic order 0, 2, 4 rotated from 0.
+        let remote: Vec<usize> = order[2..].iter().map(|&i| tasks[i].la).collect();
+        assert_eq!(remote, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn neighbours_get_different_shift_origins() {
+        let a = diagonal_shift_origin(0, 0, 4);
+        let b = diagonal_shift_origin(0, 1, 4);
+        let c = diagonal_shift_origin(1, 0, 4);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_panel_degenerate() {
+        let tasks = build_tasks(10, 1, 1);
+        assert_eq!(tasks.len(), 1);
+        let order = order_tasks(1, &tasks, 1, 5, true, |_| true);
+        assert_eq!(order, vec![0]);
+    }
+}

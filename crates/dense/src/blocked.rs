@@ -1,0 +1,250 @@
+//! Cache-blocked gemm (the "vendor dgemm" stand-in).
+//!
+//! Classic three-level blocking around the packed micro-kernel:
+//!
+//! ```text
+//! for jc in steps of NC:          // B panel fits in L3 / stays streaming
+//!   for lc in steps of KC:        // packed B panel fits in L2
+//!     pack B[lc.., jc..]
+//!     for ic in steps of MC:      // packed A panel fits in L1/L2
+//!       pack A[ic.., lc..]
+//!       macro-kernel: MR x NR micro-tiles over the packed panels
+//! ```
+//!
+//! `β·C` is applied exactly once at the start (BLAS semantics), after
+//! which every `(lc)` slice accumulates into C.
+
+use crate::gemm::Op;
+use crate::kernel::{microkernel, MR, NR};
+use crate::matrix::{MatMut, MatRef};
+use crate::pack::{pack_a, pack_b};
+
+/// Cache-block sizes. Chosen for ~32 KiB L1 / 1 MiB L2 class machines;
+/// correctness never depends on them.
+pub const MC: usize = 64;
+/// K-dimension block.
+pub const KC: usize = 256;
+/// N-dimension block.
+pub const NC: usize = 512;
+
+/// Cache-blocked `C ← α·op(A)·op(B) + β·C`. See [`crate::dgemm`].
+pub fn blocked_gemm(
+    transa: Op,
+    transb: Op,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let (am, ak) = transa.apply(a.rows(), a.cols());
+    let (bk, bn) = transb.apply(b.rows(), b.cols());
+    assert_eq!(am, m, "op(A) rows {am} != C rows {m}");
+    assert_eq!(bn, n, "op(B) cols {bn} != C cols {n}");
+    assert_eq!(ak, bk, "op(A) cols {ak} != op(B) rows {bk}");
+    let k = ak;
+
+    c.scale(beta);
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+
+    // Reusable packing buffers, sized for full blocks.
+    let mut apack = vec![0.0; MC.div_ceil(MR) * MR * KC];
+    let mut bpack = vec![0.0; NC.div_ceil(NR) * NR * KC];
+
+    let ldc = c.ld();
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut lc = 0;
+        while lc < k {
+            let kc = KC.min(k - lc);
+            pack_b(transb, b, lc, jc, kc, nc, &mut bpack);
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                pack_a(transa, a, ic, lc, mc, kc, &mut apack);
+                macro_kernel(
+                    mc,
+                    nc,
+                    kc,
+                    alpha,
+                    &apack,
+                    &bpack,
+                    &mut c,
+                    ic,
+                    jc,
+                    ldc,
+                );
+                ic += MC;
+            }
+            lc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// Run the micro-kernel over every `MR × NR` tile of an `mc × nc` block.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    alpha: f64,
+    apack: &[f64],
+    bpack: &[f64],
+    c: &mut MatMut<'_>,
+    ic: usize,
+    jc: usize,
+    ldc: usize,
+) {
+    let m_slivers = mc.div_ceil(MR);
+    let n_slivers = nc.div_ceil(NR);
+    for js in 0..n_slivers {
+        let b_sliver = &bpack[js * NR * kc..(js + 1) * NR * kc];
+        let cols = NR.min(nc - js * NR);
+        for is in 0..m_slivers {
+            let a_sliver = &apack[is * MR * kc..(is + 1) * MR * kc];
+            let rows = MR.min(mc - is * MR);
+            let mut acc = [0.0; MR * NR];
+            microkernel(kc, a_sliver, b_sliver, &mut acc);
+            // Element (ic + is*MR, jc + js*NR) of C within its buffer.
+            let r0 = ic + is * MR;
+            let c0 = jc + js * NR;
+            let tile = c.reborrow().block(r0, c0, rows, cols);
+            // `block` gives us a view; writeback wants the raw slice.
+            let ld = tile.ld();
+            debug_assert_eq!(ld, ldc);
+            write_tile(&acc, alpha, tile, rows, cols);
+        }
+    }
+}
+
+fn write_tile(acc: &[f64; MR * NR], alpha: f64, mut tile: MatMut<'_>, rows: usize, cols: usize) {
+    for r in 0..rows {
+        let row = tile.row_mut(r);
+        let src = &acc[r * NR..r * NR + cols];
+        if alpha == 1.0 {
+            for (d, s) in row[..cols].iter_mut().zip(src) {
+                *d += *s;
+            }
+        } else {
+            for (d, s) in row[..cols].iter_mut().zip(src) {
+                *d += alpha * *s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::naive::naive_gemm;
+    use crate::verify::assert_close;
+
+    #[allow(clippy::too_many_arguments)]
+    fn check(m: usize, n: usize, k: usize, ta: Op, tb: Op, alpha: f64, beta: f64, seed: u64) {
+        let (ar, ac) = match ta {
+            Op::N => (m, k),
+            Op::T => (k, m),
+        };
+        let (br, bc) = match tb {
+            Op::N => (k, n),
+            Op::T => (n, k),
+        };
+        let a = Matrix::random(ar, ac, seed);
+        let b = Matrix::random(br, bc, seed + 1);
+        let c0 = Matrix::random(m, n, seed + 2);
+
+        let mut expect = c0.clone();
+        naive_gemm(ta, tb, alpha, a.as_ref(), b.as_ref(), beta, expect.as_mut());
+        let mut got = c0.clone();
+        blocked_gemm(ta, tb, alpha, a.as_ref(), b.as_ref(), beta, got.as_mut());
+        assert_close(&got, &expect, 1e-10);
+    }
+
+    #[test]
+    fn small_square_all_transposes() {
+        for &ta in &[Op::N, Op::T] {
+            for &tb in &[Op::N, Op::T] {
+                check(7, 9, 8, ta, tb, 1.0, 0.0, 11);
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_around_block_boundaries() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (MR, NR, 4),
+            (MR + 1, NR + 1, 5),
+            (MC, NC.min(64), KC.min(64)),
+            (MC + 3, 70, KC.min(40) + 3),
+            (130, 70, 90),
+        ] {
+            check(m, n, k, Op::N, Op::N, 1.0, 0.0, (m * n + k) as u64);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_paths() {
+        check(17, 13, 19, Op::N, Op::N, 2.5, 0.5, 3);
+        check(17, 13, 19, Op::T, Op::N, -1.0, 1.0, 4);
+        check(17, 13, 19, Op::N, Op::T, 0.0, 2.0, 5);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        check(64, 4, 128, Op::N, Op::N, 1.0, 0.0, 6);
+        check(4, 64, 128, Op::T, Op::T, 1.0, 0.0, 7);
+        check(100, 1, 1, Op::N, Op::N, 1.0, 0.0, 8);
+        check(1, 100, 64, Op::N, Op::T, 1.0, 0.0, 9);
+    }
+
+    #[test]
+    fn strided_views() {
+        // C is a block of a bigger matrix; A and B too.
+        let big_a = Matrix::random(40, 40, 21);
+        let big_b = Matrix::random(40, 40, 22);
+        let mut big_c = Matrix::zeros(40, 40);
+        let (m, n, k) = (12, 10, 15);
+        let a = big_a.block(3, 5, m, k);
+        let b = big_b.block(1, 2, k, n);
+
+        let mut expect = Matrix::zeros(m, n);
+        naive_gemm(Op::N, Op::N, 1.0, a, b, 0.0, expect.as_mut());
+
+        blocked_gemm(
+            Op::N,
+            Op::N,
+            1.0,
+            a,
+            b,
+            0.0,
+            big_c.block_mut(20, 20, m, n),
+        );
+        assert_close(&big_c.block(20, 20, m, n).to_matrix(), &expect, 1e-12);
+        // Outside the target block must stay zero.
+        assert_eq!(big_c[(0, 0)], 0.0);
+        assert_eq!(big_c[(19, 19)], 0.0);
+    }
+
+    #[test]
+    fn empty_dimensions_are_noops_except_beta() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 4);
+        let mut c = Matrix::zeros(0, 4);
+        blocked_gemm(Op::N, Op::N, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+
+        // k == 0: C ← β·C
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 3);
+        let mut c = Matrix::from_fn(3, 3, |_, _| 2.0);
+        blocked_gemm(Op::N, Op::N, 1.0, a.as_ref(), b.as_ref(), 0.5, c.as_mut());
+        assert!(c.as_slice().iter().all(|&v| v == 1.0));
+    }
+}

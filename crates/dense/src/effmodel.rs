@@ -1,0 +1,148 @@
+//! Analytic serial-dgemm efficiency model.
+//!
+//! When the discrete-event simulator runs in *modeled compute* mode it
+//! does not execute the kernel; it charges virtual time
+//! `t = 2·m·n·k / (peak · eff(m, n, k))`. The efficiency surface below
+//! captures the two effects that matter for the paper's results:
+//!
+//! 1. **Small-`k` falloff** — a rank-`k` update re-reads C tiles once per
+//!    `KC` panel, so short inner dimensions cannot amortize packing and
+//!    run far below peak. This is the dominant reason parallel matmul
+//!    GFLOP/s collapses for small matrices on large process grids (the
+//!    per-process blocks shrink), visible across Figure 10.
+//! 2. **Small-`m`/`n` falloff** — tiles thinner than the register block
+//!    waste micro-kernel lanes.
+//!
+//! The shape is a saturating rational `d/(d + d_half)` per dimension — a
+//! standard "half-performance length" (Hockney `n½`) formulation. The
+//! half-lengths are per-machine (vector machines like the Cray X1 have a
+//! much larger `n½` than the Itanium/Xeon).
+
+use serde::{Deserialize, Serialize};
+
+/// Efficiency surface for a serial dgemm on one processor.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct EffModel {
+    /// Asymptotic fraction of peak achieved for huge matrices (e.g. 0.9).
+    pub asymptote: f64,
+    /// Half-performance length for the `k` dimension.
+    pub k_half: f64,
+    /// Half-performance length for `min(m, n)`.
+    pub mn_half: f64,
+}
+
+impl EffModel {
+    /// A typical cache-based microprocessor (Xeon, Itanium-2, Power3):
+    /// short half-lengths, high asymptote.
+    pub fn microprocessor() -> Self {
+        EffModel {
+            asymptote: 0.90,
+            k_half: 16.0,
+            mn_half: 12.0,
+        }
+    }
+
+    /// A vector processor (Cray X1 MSP): superb asymptote but long
+    /// vectors needed to fill the pipes.
+    pub fn vector() -> Self {
+        EffModel {
+            asymptote: 0.95,
+            k_half: 64.0,
+            mn_half: 48.0,
+        }
+    }
+
+    /// Efficiency in `(0, asymptote]` for a gemm of shape `m × n × k`.
+    pub fn eff(&self, m: usize, n: usize, k: usize) -> f64 {
+        if m == 0 || n == 0 || k == 0 {
+            return self.asymptote; // zero work; value irrelevant but finite
+        }
+        let mn = m.min(n) as f64;
+        let k = k as f64;
+        self.asymptote * (k / (k + self.k_half)) * (mn / (mn + self.mn_half))
+    }
+
+    /// Seconds to run a `m × n × k` gemm on a processor with the given
+    /// peak (FLOP/s), under this model.
+    pub fn time(&self, peak_flops: f64, m: usize, n: usize, k: usize) -> f64 {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        if flops == 0.0 {
+            return 0.0;
+        }
+        flops / (peak_flops * self.eff(m, n, k))
+    }
+
+    /// Sustained GFLOP/s for the shape.
+    pub fn gflops(&self, peak_flops: f64, m: usize, n: usize, k: usize) -> f64 {
+        peak_flops * self.eff(m, n, k) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eff_is_monotone_in_each_dimension() {
+        let e = EffModel::microprocessor();
+        let mut prev = 0.0;
+        for k in [1, 2, 4, 16, 64, 256, 4096] {
+            let now = e.eff(512, 512, k);
+            assert!(now > prev, "eff not increasing at k={k}");
+            prev = now;
+        }
+        let mut prev = 0.0;
+        for mn in [1, 4, 8, 32, 128, 1024] {
+            let now = e.eff(mn, mn, 512);
+            assert!(now > prev, "eff not increasing at mn={mn}");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn eff_bounded_by_asymptote() {
+        for model in [EffModel::microprocessor(), EffModel::vector()] {
+            for &(m, n, k) in &[(1, 1, 1), (64, 64, 64), (10_000, 10_000, 10_000)] {
+                let e = model.eff(m, n, k);
+                assert!(e > 0.0 && e <= model.asymptote);
+            }
+        }
+    }
+
+    #[test]
+    fn big_matrices_approach_asymptote() {
+        let e = EffModel::microprocessor();
+        assert!(e.eff(8000, 8000, 8000) > 0.98 * e.asymptote);
+    }
+
+    #[test]
+    fn vector_machine_needs_longer_vectors() {
+        let micro = EffModel::microprocessor();
+        let vec = EffModel::vector();
+        // At small size, the vector machine is *relatively* further below
+        // its own asymptote than the microprocessor.
+        let rel_micro = micro.eff(64, 64, 64) / micro.asymptote;
+        let rel_vec = vec.eff(64, 64, 64) / vec.asymptote;
+        assert!(rel_vec < rel_micro);
+    }
+
+    #[test]
+    fn time_scales_with_flops() {
+        let e = EffModel::microprocessor();
+        let t1 = e.time(1e9, 256, 256, 256);
+        let t2 = e.time(1e9, 512, 256, 256);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        assert_eq!(e.time(1e9, 0, 10, 10), 0.0);
+    }
+
+    #[test]
+    fn gflops_consistent_with_time() {
+        let e = EffModel::vector();
+        let peak = 12.8e9;
+        let (m, n, k) = (1000, 1000, 1000);
+        let t = e.time(peak, m, n, k);
+        let gf = e.gflops(peak, m, n, k);
+        let flops = 2.0 * (m * n * k) as f64;
+        assert!((flops / t / 1e9 - gf).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,177 @@
+//! Reference gemm: the straightforward triple loop.
+//!
+//! Slow but obviously correct; every other kernel in the workspace is
+//! tested against this oracle. Supports all four transpose combinations
+//! and arbitrary leading dimensions.
+
+use crate::gemm::Op;
+use crate::matrix::{MatMut, MatRef};
+
+/// `C ← α·op(A)·op(B) + β·C`, reference implementation.
+///
+/// Shapes: `op(A)` is `m × k`, `op(B)` is `k × n`, `C` is `m × n`, where
+/// `m = c.rows()`, `n = c.cols()` and `k` is taken from `A`.
+///
+/// # Panics
+/// Panics if the operand shapes are inconsistent.
+pub fn naive_gemm(
+    transa: Op,
+    transb: Op,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = match transa {
+        Op::N => a.cols(),
+        Op::T => a.rows(),
+    };
+    let (am, _ak) = match transa {
+        Op::N => (a.rows(), a.cols()),
+        Op::T => (a.cols(), a.rows()),
+    };
+    let (bk, bn) = match transb {
+        Op::N => (b.rows(), b.cols()),
+        Op::T => (b.cols(), b.rows()),
+    };
+    assert_eq!(am, m, "op(A) rows {am} != C rows {m}");
+    assert_eq!(bk, k, "op(B) rows {bk} != op(A) cols {k}");
+    assert_eq!(bn, n, "op(B) cols {bn} != C cols {n}");
+
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for l in 0..k {
+                let aval = match transa {
+                    Op::N => a.at(i, l),
+                    Op::T => a.at(l, i),
+                };
+                let bval = match transb {
+                    Op::N => b.at(l, j),
+                    Op::T => b.at(j, l),
+                };
+                acc += aval * bval;
+            }
+            let old = if beta == 0.0 { 0.0 } else { beta * c.at(i, j) };
+            *c.at_mut(i, j) = alpha * acc + old;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn two_by_two_hand_check() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let mut c = Matrix::zeros(2, 2);
+        naive_gemm(Op::N, Op::N, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::random(4, 4, 3);
+        let id = Matrix::identity(4);
+        let mut c = Matrix::zeros(4, 4);
+        naive_gemm(Op::N, Op::N, 1.0, a.as_ref(), id.as_ref(), 0.0, c.as_mut());
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn transpose_variants_agree_with_explicit_transpose() {
+        let a = Matrix::random(3, 5, 1);
+        let b = Matrix::random(5, 4, 2);
+        let at = a.transposed();
+        let bt = b.transposed();
+        let mut c_nn = Matrix::zeros(3, 4);
+        naive_gemm(
+            Op::N,
+            Op::N,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c_nn.as_mut(),
+        );
+
+        let mut c_tn = Matrix::zeros(3, 4);
+        naive_gemm(
+            Op::T,
+            Op::N,
+            1.0,
+            at.as_ref(),
+            b.as_ref(),
+            0.0,
+            c_tn.as_mut(),
+        );
+        assert_eq!(c_nn, c_tn);
+
+        let mut c_nt = Matrix::zeros(3, 4);
+        naive_gemm(
+            Op::N,
+            Op::T,
+            1.0,
+            a.as_ref(),
+            bt.as_ref(),
+            0.0,
+            c_nt.as_mut(),
+        );
+        assert_eq!(c_nn, c_nt);
+
+        let mut c_tt = Matrix::zeros(3, 4);
+        naive_gemm(
+            Op::T,
+            Op::T,
+            1.0,
+            at.as_ref(),
+            bt.as_ref(),
+            0.0,
+            c_tt.as_mut(),
+        );
+        assert_eq!(c_nn, c_tt);
+    }
+
+    #[test]
+    fn alpha_beta_combine() {
+        let a = Matrix::random(3, 3, 5);
+        let b = Matrix::random(3, 3, 6);
+        let c0 = Matrix::random(3, 3, 7);
+
+        let mut ab = Matrix::zeros(3, 3);
+        naive_gemm(Op::N, Op::N, 1.0, a.as_ref(), b.as_ref(), 0.0, ab.as_mut());
+
+        let mut c = c0.clone();
+        naive_gemm(Op::N, Op::N, 2.0, a.as_ref(), b.as_ref(), 3.0, c.as_mut());
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = 2.0 * ab[(i, j)] + 3.0 * c0[(i, j)];
+                assert!((c[(i, j)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(2);
+        let mut c = Matrix::from_fn(2, 2, |_, _| f64::NAN);
+        naive_gemm(Op::N, Op::N, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        assert_eq!(c, Matrix::identity(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "op(B) rows")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut c = Matrix::zeros(2, 2);
+        naive_gemm(Op::N, Op::N, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+    }
+}

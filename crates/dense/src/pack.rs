@@ -1,0 +1,173 @@
+//! Operand packing for the blocked kernel.
+//!
+//! GotoBLAS-style: before the macro-kernel runs, a panel of `op(A)` is
+//! repacked into contiguous `MR`-row slivers and a panel of `op(B)` into
+//! contiguous `NR`-column slivers, so the micro-kernel streams through
+//! memory with unit stride regardless of the caller's leading dimensions
+//! or transpose flags. Rows/columns beyond the matrix edge are padded
+//! with zeros so the micro-kernel never needs edge masks on its inputs.
+
+use crate::gemm::Op;
+use crate::kernel::{MR, NR};
+use crate::matrix::MatRef;
+
+/// Pack an `mc × kc` panel of `op(A)` (starting at logical row `i0`,
+/// logical column `l0` of `op(A)`) into `buf`.
+///
+/// Layout: slivers of `MR` rows; within a sliver, element order is
+/// `k`-major (`buf[sliver][k * MR + r]`), which is exactly the order the
+/// micro-kernel consumes. `buf.len()` must be at least
+/// `ceil(mc / MR) * MR * kc`.
+pub fn pack_a(transa: Op, a: MatRef<'_>, i0: usize, l0: usize, mc: usize, kc: usize, buf: &mut [f64]) {
+    let slivers = mc.div_ceil(MR);
+    debug_assert!(buf.len() >= slivers * MR * kc);
+    for s in 0..slivers {
+        let row_base = i0 + s * MR;
+        let rows_here = MR.min(mc - s * MR);
+        let dst = &mut buf[s * MR * kc..(s + 1) * MR * kc];
+        match transa {
+            Op::N => {
+                for k in 0..kc {
+                    for r in 0..rows_here {
+                        dst[k * MR + r] = a.at(row_base + r, l0 + k);
+                    }
+                    for r in rows_here..MR {
+                        dst[k * MR + r] = 0.0;
+                    }
+                }
+            }
+            Op::T => {
+                // op(A)[i][k] = A[k][i]
+                for k in 0..kc {
+                    let src_row = a.row(l0 + k);
+                    for r in 0..rows_here {
+                        dst[k * MR + r] = src_row[row_base + r];
+                    }
+                    for r in rows_here..MR {
+                        dst[k * MR + r] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack a `kc × nc` panel of `op(B)` (starting at logical row `l0`,
+/// logical column `j0` of `op(B)`) into `buf`.
+///
+/// Layout: slivers of `NR` columns; within a sliver, element order is
+/// `k`-major (`buf[sliver][k * NR + c]`). `buf.len()` must be at least
+/// `ceil(nc / NR) * NR * kc`.
+pub fn pack_b(transb: Op, b: MatRef<'_>, l0: usize, j0: usize, kc: usize, nc: usize, buf: &mut [f64]) {
+    let slivers = nc.div_ceil(NR);
+    debug_assert!(buf.len() >= slivers * NR * kc);
+    for s in 0..slivers {
+        let col_base = j0 + s * NR;
+        let cols_here = NR.min(nc - s * NR);
+        let dst = &mut buf[s * NR * kc..(s + 1) * NR * kc];
+        match transb {
+            Op::N => {
+                for k in 0..kc {
+                    let src_row = b.row(l0 + k);
+                    for c in 0..cols_here {
+                        dst[k * NR + c] = src_row[col_base + c];
+                    }
+                    for c in cols_here..NR {
+                        dst[k * NR + c] = 0.0;
+                    }
+                }
+            }
+            Op::T => {
+                // op(B)[k][j] = B[j][k]
+                for k in 0..kc {
+                    for c in 0..cols_here {
+                        dst[k * NR + c] = b.at(col_base + c, l0 + k);
+                    }
+                    for c in cols_here..NR {
+                        dst[k * NR + c] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn op_at(m: &Matrix, trans: Op, i: usize, j: usize) -> f64 {
+        match trans {
+            Op::N => m[(i, j)],
+            Op::T => m[(j, i)],
+        }
+    }
+
+    #[test]
+    fn pack_a_matches_logical_elements() {
+        for &trans in &[Op::N, Op::T] {
+            let stored = Matrix::random(13, 11, 7);
+            // op(A) is 13x11 for N; pick panel inside op(A) bounds for both.
+            let (mc, kc, i0, l0): (usize, usize, usize, usize) = (6, 5, 2, 3);
+            let slivers = mc.div_ceil(MR);
+            let mut buf = vec![f64::NAN; slivers * MR * kc];
+            pack_a(trans, stored.as_ref(), i0, l0, mc, kc, &mut buf);
+            for s in 0..slivers {
+                for k in 0..kc {
+                    for r in 0..MR {
+                        let got = buf[s * MR * kc + k * MR + r];
+                        let row = s * MR + r;
+                        let expect = if row < mc {
+                            op_at(&stored, trans, i0 + row, l0 + k)
+                        } else {
+                            0.0
+                        };
+                        assert_eq!(got, expect, "trans={trans:?} s={s} k={k} r={r}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_matches_logical_elements() {
+        for &trans in &[Op::N, Op::T] {
+            let stored = Matrix::random(12, 12, 8);
+            let (kc, nc, l0, j0): (usize, usize, usize, usize) = (5, 10, 1, 1);
+            let slivers = nc.div_ceil(NR);
+            let mut buf = vec![f64::NAN; slivers * NR * kc];
+            pack_b(trans, stored.as_ref(), l0, j0, kc, nc, &mut buf);
+            for s in 0..slivers {
+                for k in 0..kc {
+                    for c in 0..NR {
+                        let got = buf[s * NR * kc + k * NR + c];
+                        let col = s * NR + c;
+                        let expect = if col < nc {
+                            op_at(&stored, trans, l0 + k, j0 + col)
+                        } else {
+                            0.0
+                        };
+                        assert_eq!(got, expect, "trans={trans:?} s={s} k={k} c={c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_edges_are_zero_padded() {
+        let stored = Matrix::from_fn(3, 3, |_, _| 1.0);
+        let mc: usize = 3; // not a multiple of MR
+        let kc = 3;
+        let slivers = mc.div_ceil(MR);
+        let mut buf = vec![f64::NAN; slivers * MR * kc];
+        pack_a(Op::N, stored.as_ref(), 0, 0, mc, kc, &mut buf);
+        // Rows mc..slivers*MR must be zero, not NaN.
+        for k in 0..kc {
+            for r in mc..MR.min(slivers * MR) {
+                assert_eq!(buf[k * MR + r], 0.0);
+            }
+        }
+    }
+}

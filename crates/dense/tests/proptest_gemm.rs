@@ -1,0 +1,111 @@
+//! Property-based tests for the blocked gemm against the naive oracle.
+
+use proptest::prelude::*;
+use srumma_dense::gemm::gemm_flops;
+use srumma_dense::naive::naive_gemm;
+use srumma_dense::{dgemm, EffModel, Matrix, Op};
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![Just(Op::N), Just(Op::T)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Blocked gemm agrees with the naive oracle for arbitrary shapes,
+    /// transposes and scalars.
+    #[test]
+    fn blocked_matches_naive(
+        m in 1usize..96,
+        n in 1usize..96,
+        k in 1usize..96,
+        ta in op_strategy(),
+        tb in op_strategy(),
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let (ar, ac) = match ta { Op::N => (m, k), Op::T => (k, m) };
+        let (br, bc) = match tb { Op::N => (k, n), Op::T => (n, k) };
+        let a = Matrix::random(ar, ac, seed);
+        let b = Matrix::random(br, bc, seed + 1);
+        let c0 = Matrix::random(m, n, seed + 2);
+
+        let mut expect = c0.clone();
+        naive_gemm(ta, tb, alpha, a.as_ref(), b.as_ref(), beta, expect.as_mut());
+        let mut got = c0;
+        dgemm(ta, tb, alpha, a.as_ref(), b.as_ref(), beta, got.as_mut());
+
+        let err = srumma_dense::max_abs_diff(&got, &expect);
+        prop_assert!(err < 1e-9, "err = {err}");
+    }
+
+    /// gemm on sub-block views equals gemm on copied-out blocks.
+    #[test]
+    fn views_equal_copies(
+        m in 1usize..32,
+        n in 1usize..32,
+        k in 1usize..32,
+        r0 in 0usize..8,
+        c0 in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let big_a = Matrix::random(m + r0 + 4, k + c0 + 4, seed);
+        let big_b = Matrix::random(k + r0 + 4, n + c0 + 4, seed + 1);
+        let av = big_a.block(r0, c0, m, k);
+        let bv = big_b.block(r0, c0, k, n);
+        let ac = av.to_matrix();
+        let bc = bv.to_matrix();
+
+        let mut from_views = Matrix::zeros(m, n);
+        dgemm(Op::N, Op::N, 1.0, av, bv, 0.0, from_views.as_mut());
+        let mut from_copies = Matrix::zeros(m, n);
+        dgemm(Op::N, Op::N, 1.0, ac.as_ref(), bc.as_ref(), 0.0, from_copies.as_mut());
+        prop_assert_eq!(from_views, from_copies);
+    }
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ — an algebraic identity the kernel must respect.
+    #[test]
+    fn transpose_product_identity(
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::random(m, k, seed);
+        let b = Matrix::random(k, n, seed + 1);
+
+        let mut ab = Matrix::zeros(m, n);
+        dgemm(Op::N, Op::N, 1.0, a.as_ref(), b.as_ref(), 0.0, ab.as_mut());
+
+        // Bᵀ·Aᵀ computed via transpose flags on the stored (untouched) A, B.
+        let mut btat = Matrix::zeros(n, m);
+        dgemm(Op::T, Op::T, 1.0, b.as_ref(), a.as_ref(), 0.0, btat.as_mut());
+
+        let err = srumma_dense::max_abs_diff(&ab.transposed(), &btat);
+        prop_assert!(err < 1e-10, "err = {err}");
+    }
+
+    /// Efficiency model invariants: bounded, positive, monotone under
+    /// scaling all dimensions up.
+    #[test]
+    fn effmodel_invariants(
+        m in 1usize..4096,
+        n in 1usize..4096,
+        k in 1usize..4096,
+    ) {
+        for model in [EffModel::microprocessor(), EffModel::vector()] {
+            let e = model.eff(m, n, k);
+            prop_assert!(e > 0.0 && e <= model.asymptote);
+            let e2 = model.eff(m * 2, n * 2, k * 2);
+            prop_assert!(e2 >= e);
+        }
+    }
+
+    /// flop count is symmetric in m and n and linear in k.
+    #[test]
+    fn flops_properties(m in 0usize..1000, n in 0usize..1000, k in 0usize..1000) {
+        prop_assert_eq!(gemm_flops(m, n, k), gemm_flops(n, m, k));
+        prop_assert_eq!(gemm_flops(m, n, 2 * k), 2 * gemm_flops(m, n, k));
+    }
+}

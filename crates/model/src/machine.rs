@@ -1,0 +1,386 @@
+//! Calibrated machine profiles for the paper's four platforms.
+//!
+//! Parameter values are drawn from the paper itself where it states them
+//! (processor clocks, node widths, protocol properties) and from the
+//! public record of the era's hardware for the rest (Myrinet-2000 GM,
+//! IBM Colony/LAPI, NUMAlink3, Cray X1 interconnect). They were then
+//! *calibrated* so the regenerated experiments land in the bands of
+//! DESIGN.md §6 — we reproduce shapes and ratios, not 2004 wall clocks.
+
+use crate::network::{CpuParams, NetParams, ShmParams};
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use srumma_dense::EffModel;
+
+/// Identifies one of the paper's evaluation platforms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Dual 2.4-GHz Xeon nodes, Myrinet-2000 (GM), zero-copy RMA.
+    LinuxMyrinet,
+    /// 16-way 375-MHz Power3 nodes, Colony switch, LAPI (no zero-copy).
+    IbmSp,
+    /// Cray X1: globally addressable memory, remote lines uncacheable.
+    CrayX1,
+    /// SGI Altix 3000: 128 Itanium-2 CPUs, one cacheable ccNUMA domain.
+    SgiAltix,
+}
+
+impl Platform {
+    /// All four, in the order the paper lists them.
+    pub const ALL: [Platform; 4] = [
+        Platform::LinuxMyrinet,
+        Platform::IbmSp,
+        Platform::CrayX1,
+        Platform::SgiAltix,
+    ];
+
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Platform::LinuxMyrinet => "Linux cluster (Myrinet)",
+            Platform::IbmSp => "IBM SP",
+            Platform::CrayX1 => "Cray X1",
+            Platform::SgiAltix => "SGI Altix",
+        }
+    }
+}
+
+/// A complete machine description: compute, network, shared memory and
+/// rank placement.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Machine {
+    /// Which platform this profile models (custom profiles reuse the
+    /// closest platform tag).
+    pub platform: Platform,
+    /// Per-processor compute parameters.
+    pub cpu: CpuParams,
+    /// Inter-domain network parameters.
+    pub net: NetParams,
+    /// Intra-domain shared-memory parameters.
+    pub shm: ShmParams,
+    /// Ranks per shared-memory domain when `nranks` ranks are launched.
+    /// For the two shared-memory machines this equals the whole machine.
+    pub ranks_per_domain: RanksPerDomain,
+}
+
+/// How the shared-memory domain scales with the launched rank count.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub enum RanksPerDomain {
+    /// Fixed node width (clusters): 2 for the Xeon boxes, 16 for the SP.
+    Fixed(usize),
+    /// The entire machine is one domain (Altix, X1).
+    WholeMachine,
+}
+
+impl Machine {
+    /// The dual-Xeon / Myrinet-2000 Linux cluster.
+    ///
+    /// * CPU: 2.4 GHz Xeon, 2 FLOP/cycle SSE2 → 4.8 GFLOP/s peak.
+    /// * Myrinet-2000 with GM: ≈ 240 MB/s per stream, ≈ 11 µs get
+    ///   latency (request+reply), zero-copy puts/gets, MPI (MPICH-GM)
+    ///   ≈ 7 µs latency with a 16 KiB eager limit.
+    pub fn linux_myrinet() -> Self {
+        Machine {
+            platform: Platform::LinuxMyrinet,
+            cpu: CpuParams {
+                peak_flops: 4.8e9,
+                eff: EffModel::microprocessor(),
+            },
+            net: NetParams {
+                rma_latency: 5.5e-6,
+                rma_bandwidth: 245e6,
+                mpi_latency: 7.0e-6,
+                mpi_bandwidth: 230e6,
+                eager_threshold: 16 * 1024,
+                zero_copy: true,
+                host_copy_bandwidth: 1.2e9,
+                rma_issue_overhead: 0.6e-6,
+                rndv_progress_fraction: 0.05,
+                mpi_shm_bandwidth: 0.8e9,
+                mpi_shm_latency: 2.0e-6,
+                mpi_shm_channels: 1,
+                nic_channels: 1,
+            },
+            shm: ShmParams {
+                latency: 0.4e-6,
+                local_copy_bandwidth: 1.2e9,
+                remote_copy_bandwidth: 1.2e9,
+                group_mem_bandwidth: 2.1e9,
+                membw_group_size: 2,
+                cacheable_remote: true,
+                // Dual-Xeon node: flat SMP, direct reads ~free.
+                direct_access_eff: 0.98,
+            },
+            ranks_per_domain: RanksPerDomain::Fixed(2),
+        }
+    }
+
+    /// The NERSC IBM SP: 16-way 375 MHz Power3 nodes, Colony switch.
+    ///
+    /// * CPU: Power3-II, 4 FLOP/cycle → 1.5 GFLOP/s peak.
+    /// * Colony switch: the node's adapters sustain ≈ 1 GB/s of MPI
+    ///   traffic in aggregate, while a single LAPI get stream moves at
+    ///   ≈ 360 MB/s; LAPI latency is dominated by AIX interrupt
+    ///   handling (≈ 23 µs one-way here), and LAPI is **not zero-copy**
+    ///   — the remote host CPU copies user data into DMA buffers.
+    pub fn ibm_sp() -> Self {
+        Machine {
+            platform: Platform::IbmSp,
+            cpu: CpuParams {
+                peak_flops: 1.5e9,
+                // Power3-II with ESSL: strong but not Xeon-class cache
+                // behaviour at the paper's block sizes (calibrated to
+                // the N=8000/256-CPU anchor).
+                eff: EffModel {
+                    asymptote: 0.85,
+                    k_half: 20.0,
+                    mn_half: 16.0,
+                },
+            },
+            net: NetParams {
+                rma_latency: 23.0e-6,
+                rma_bandwidth: 1.3e9,
+                mpi_latency: 17.0e-6,
+                mpi_bandwidth: 1.3e9,
+                eager_threshold: 16 * 1024,
+                zero_copy: false,
+                host_copy_bandwidth: 1.0e9,
+                rma_issue_overhead: 1.2e-6,
+                rndv_progress_fraction: 0.05,
+                mpi_shm_bandwidth: 1.0e9,
+                mpi_shm_latency: 6.0e-6,
+                mpi_shm_channels: 1,
+                nic_channels: 2,
+            },
+            shm: ShmParams {
+                latency: 0.5e-6,
+                local_copy_bandwidth: 1.1e9,
+                remote_copy_bandwidth: 1.1e9,
+                group_mem_bandwidth: 11.0e9,
+                membw_group_size: 16,
+                cacheable_remote: true,
+                // The 16-way Nighthawk node is a flat SMP: reading a
+                // neighbour's block in place is nearly free.
+                direct_access_eff: 0.97,
+            },
+            ranks_per_domain: RanksPerDomain::Fixed(16),
+        }
+    }
+
+    /// The ORNL Cray X1.
+    ///
+    /// * CPU: one MSP = 12.8 GFLOP/s peak, vector efficiency profile
+    ///   (long `n½`).
+    /// * Whole machine load/store addressable, but **remote memory is
+    ///   not cacheable** — a dgemm streaming operands from remote memory
+    ///   runs at a small fraction of peak, which is why the paper's X1
+    ///   flavor copies blocks to a local buffer first (Figure 5).
+    /// * MPI on the X1 was comparatively slow (the paper's Figure 6
+    ///   shows shm/ld-st bandwidth far above MPI).
+    pub fn cray_x1() -> Self {
+        Machine {
+            platform: Platform::CrayX1,
+            cpu: CpuParams {
+                peak_flops: 12.8e9,
+                // The X1's -lsci dgemm filled its vector pipes faster
+                // than a generic "vector" profile: shorter half-lengths
+                // than EffModel::vector(), calibrated to the paper's
+                // 922 GFLOP/s at N=2000 on 128 MSPs.
+                eff: EffModel {
+                    asymptote: 0.95,
+                    k_half: 32.0,
+                    mn_half: 24.0,
+                },
+            },
+            net: NetParams {
+                // The X1's native path *is* load/store; RMA parameters
+                // describe the ARMCI get implemented over it.
+                rma_latency: 3.0e-6,
+                rma_bandwidth: 9.0e9,
+                mpi_latency: 8.0e-6,
+                mpi_bandwidth: 1.3e9,
+                eager_threshold: 16 * 1024,
+                zero_copy: true,
+                host_copy_bandwidth: 10.0e9,
+                rma_issue_overhead: 0.4e-6,
+                rndv_progress_fraction: 0.05,
+                mpi_shm_bandwidth: 2.5e9,
+                mpi_shm_latency: 10.0e-6,
+                mpi_shm_channels: 4,
+                nic_channels: 1,
+            },
+            shm: ShmParams {
+                latency: 0.3e-6,
+                local_copy_bandwidth: 14.0e9,
+                remote_copy_bandwidth: 9.0e9,
+                group_mem_bandwidth: 34.0e9,
+                membw_group_size: 4,
+                cacheable_remote: false,
+                // Uncached remote operand streaming cripples the kernel.
+                direct_access_eff: 0.10,
+            },
+            ranks_per_domain: RanksPerDomain::WholeMachine,
+        }
+    }
+
+    /// The PNNL SGI Altix 3000.
+    ///
+    /// * CPU: 1.5 GHz Itanium-2, 4 FLOP/cycle → 6 GFLOP/s peak (the
+    ///   paper quotes exactly this rating).
+    /// * One cacheable ccNUMA domain of 128 CPUs over NUMAlink; remote
+    ///   data *can* be cached, so SRUMMA's direct-access flavor (no
+    ///   copies at all) is the fast one here (Figure 5).
+    /// * Two CPUs share each memory "brick", so aggregate memory
+    ///   bandwidth saturates for very large problems (N = 12000 in
+    ///   Figure 10).
+    pub fn sgi_altix() -> Self {
+        Machine {
+            platform: Platform::SgiAltix,
+            cpu: CpuParams {
+                peak_flops: 6.0e9,
+                // Itanium-2's in-order EPIC core needs longer panels to
+                // reach its peak than the Xeon; half-lengths calibrated
+                // so 128-CPU SRUMMA lands in the paper's envelope
+                // (≈ 380-420 GFLOP/s at N=4000).
+                eff: EffModel {
+                    asymptote: 0.88,
+                    k_half: 48.0,
+                    mn_half: 32.0,
+                },
+            },
+            net: NetParams {
+                // Never used (single domain), but kept meaningful: the
+                // NUMAlink fabric as an "RMA network".
+                rma_latency: 1.5e-6,
+                rma_bandwidth: 1.6e9,
+                mpi_latency: 2.8e-6,
+                mpi_bandwidth: 0.9e9,
+                eager_threshold: 16 * 1024,
+                zero_copy: true,
+                host_copy_bandwidth: 1.6e9,
+                rma_issue_overhead: 0.3e-6,
+                rndv_progress_fraction: 0.05,
+                mpi_shm_bandwidth: 1.3e9,
+                mpi_shm_latency: 4.0e-6,
+                mpi_shm_channels: 1,
+                nic_channels: 1,
+            },
+            shm: ShmParams {
+                latency: 0.25e-6,
+                local_copy_bandwidth: 1.9e9,
+                remote_copy_bandwidth: 1.4e9,
+                group_mem_bandwidth: 3.2e9,
+                membw_group_size: 2,
+                cacheable_remote: true,
+                direct_access_eff: 0.90,
+            },
+            ranks_per_domain: RanksPerDomain::WholeMachine,
+        }
+    }
+
+    /// Profile for a [`Platform`] tag.
+    pub fn for_platform(p: Platform) -> Self {
+        match p {
+            Platform::LinuxMyrinet => Self::linux_myrinet(),
+            Platform::IbmSp => Self::ibm_sp(),
+            Platform::CrayX1 => Self::cray_x1(),
+            Platform::SgiAltix => Self::sgi_altix(),
+        }
+    }
+
+    /// Rank→node topology when `nranks` ranks are launched.
+    pub fn topology(&self, nranks: usize) -> Topology {
+        match self.ranks_per_domain {
+            RanksPerDomain::Fixed(w) => Topology::new(nranks, w),
+            RanksPerDomain::WholeMachine => Topology::single_domain(nranks),
+        }
+    }
+
+    /// Variant of this machine with zero-copy RMA force-disabled
+    /// (the Figure 9 ablation: Myrinet with the GM zero-copy path off,
+    /// falling back to host-assisted copies).
+    pub fn without_zero_copy(mut self) -> Self {
+        self.net.zero_copy = false;
+        self
+    }
+
+    /// Sustained serial dgemm GFLOP/s for an `n × n × n` problem — the
+    /// "one processor" reference row of the figures.
+    pub fn serial_gflops(&self, n: usize) -> f64 {
+        self.cpu.eff.gflops(self.cpu.peak_flops, n, n, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_sane_peaks() {
+        assert_eq!(Machine::linux_myrinet().cpu.peak_flops, 4.8e9);
+        assert_eq!(Machine::ibm_sp().cpu.peak_flops, 1.5e9);
+        assert_eq!(Machine::cray_x1().cpu.peak_flops, 12.8e9);
+        assert_eq!(Machine::sgi_altix().cpu.peak_flops, 6.0e9);
+    }
+
+    #[test]
+    fn domain_structure_matches_paper() {
+        // Clusters: fixed node widths (2-way Xeon, 16-way SP).
+        let t = Machine::linux_myrinet().topology(128);
+        assert_eq!(t.nnodes(), 64);
+        let t = Machine::ibm_sp().topology(256);
+        assert_eq!(t.nnodes(), 16);
+        // Shared-memory systems: one machine-wide domain.
+        assert_eq!(Machine::sgi_altix().topology(128).nnodes(), 1);
+        assert_eq!(Machine::cray_x1().topology(64).nnodes(), 1);
+    }
+
+    #[test]
+    fn zero_copy_flags_match_paper() {
+        assert!(Machine::linux_myrinet().net.zero_copy, "Myrinet GM is zero-copy");
+        assert!(!Machine::ibm_sp().net.zero_copy, "LAPI is not zero-copy");
+    }
+
+    #[test]
+    fn cacheability_matches_paper() {
+        assert!(Machine::sgi_altix().shm.cacheable_remote);
+        assert!(!Machine::cray_x1().shm.cacheable_remote);
+        // Direct access must be near-free on Altix, crippling on X1.
+        assert!(Machine::sgi_altix().shm.direct_access_eff > 0.8);
+        assert!(Machine::cray_x1().shm.direct_access_eff < 0.3);
+    }
+
+    #[test]
+    fn get_latency_exceeds_mpi_latency_on_clusters() {
+        // Paper §4.1: get = request + reply ⇒ higher short-message
+        // latency than MPI send/recv; LAPI interrupts make SP worse.
+        for m in [Machine::linux_myrinet(), Machine::ibm_sp()] {
+            assert!(2.0 * m.net.rma_latency > m.net.mpi_latency);
+        }
+    }
+
+    #[test]
+    fn without_zero_copy_only_touches_flag() {
+        let base = Machine::linux_myrinet();
+        let off = base.clone().without_zero_copy();
+        assert!(!off.net.zero_copy);
+        assert_eq!(off.cpu, base.cpu);
+        assert_eq!(off.shm, base.shm);
+    }
+
+    #[test]
+    fn serial_gflops_below_peak() {
+        for p in Platform::ALL {
+            let m = Machine::for_platform(p);
+            let g = m.serial_gflops(2000);
+            assert!(g > 0.0 && g < m.cpu.peak_flops / 1e9);
+        }
+    }
+
+    #[test]
+    fn platform_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            Platform::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

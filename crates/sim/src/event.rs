@@ -1,0 +1,152 @@
+//! The virtual-time event queue.
+//!
+//! Events are ordered by `(time, seq)`; `seq` is a monotonically
+//! increasing issue counter, so simultaneous events fire in issue order
+//! and the simulation stays deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires (interpreted by the kernel).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A rank's timed block (`advance`) expires; make it runnable.
+    WakeRank(usize),
+    /// An asynchronous transfer completes.
+    TransferDone(usize),
+}
+
+/// A scheduled occurrence at a virtual time.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Virtual time at which the event fires (seconds).
+    pub time: f64,
+    /// Issue-order tiebreaker.
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-queue of events by `(time, seq)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at `time`. Returns the assigned sequence number.
+    pub fn push(&mut self, time: f64, kind: EventKind) -> u64 {
+        assert!(time.is_finite(), "event time must be finite, got {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+        seq
+    }
+
+    /// Earliest pending event time, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, EventKind::WakeRank(0));
+        q.push(1.0, EventKind::WakeRank(1));
+        q.push(2.0, EventKind::WakeRank(2));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|e| e.time)).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_issue_order() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::WakeRank(9));
+        q.push(1.0, EventKind::WakeRank(4));
+        q.push(1.0, EventKind::WakeRank(7));
+        let order: Vec<EventKind> = std::iter::from_fn(|| q.pop().map(|e| e.kind)).collect();
+        assert_eq!(
+            order,
+            vec![
+                EventKind::WakeRank(9),
+                EventKind::WakeRank(4),
+                EventKind::WakeRank(7)
+            ]
+        );
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(5.0, EventKind::TransferDone(1));
+        q.push(2.0, EventKind::TransferDone(2));
+        assert_eq!(q.peek_time(), Some(2.0));
+        assert_eq!(q.pop().unwrap().time, 2.0);
+        assert_eq!(q.peek_time(), Some(5.0));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+        q.push(1.0, EventKind::WakeRank(0));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_rejected() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, EventKind::WakeRank(0));
+    }
+}

@@ -1,0 +1,669 @@
+//! The conservative virtual-time kernel.
+//!
+//! ## Scheduling discipline
+//!
+//! Rank threads never run concurrently: a single *baton* is passed so
+//! that kernel operations execute in strict global order of
+//! `(virtual clock, rank id)`. Before a rank's operation takes effect,
+//! the kernel yields to every runnable rank whose clock is behind —
+//! therefore when an operation at virtual time `t` acquires a FIFO
+//! resource, every acquisition that should precede it already has.
+//!
+//! A pleasant consequence: a transfer's **completion time is fully
+//! determined at issue** (resources are FIFO, acquisition order is the
+//! virtual-time order). `wait` operations on transfers are plain clock
+//! advances; the only operations that genuinely block a thread are the
+//! *matching* ones — message receive, rendezvous pairing, barriers —
+//! which are resolved by another rank's later operation.
+//!
+//! ## Approximation note
+//!
+//! Remote-CPU theft (non-zero-copy RMA) lands *between* the victim's
+//! compute operations rather than preempting one mid-flight: the theft
+//! pushes the victim's `cpu_free_at`, delaying its next `advance`. For
+//! the block-sized compute grains of matrix multiplication this is a
+//! faithful granularity.
+
+use crate::resource::{acquire_joint, Resource};
+use crate::stats::RankStats;
+use crate::trace::{TraceEvent, TraceKind};
+use parking_lot::{Condvar, Mutex};
+use srumma_model::network::Path;
+use srumma_model::{Topology, TransferCost};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Identifier of an issued transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransferId(usize);
+
+/// Description of one data movement handed to [`Kernel::issue_transfer`].
+///
+/// The *initiator* is the calling rank and may be either endpoint: for a
+/// get it is `dst_rank` (data flows toward the caller), for a put/send it
+/// is `src_rank`. Remote-CPU theft (`cost.remote_cpu`) always lands on
+/// the non-initiating endpoint.
+#[derive(Clone, Debug)]
+pub struct TransferSpec {
+    /// Cost decomposition from the protocol model.
+    pub cost: TransferCost,
+    /// Rank whose memory the data moves from.
+    pub src_rank: usize,
+    /// Rank whose memory the data moves to.
+    pub dst_rank: usize,
+    /// Payload size in bytes (for statistics).
+    pub bytes: u64,
+    /// Trace label (ignored unless tracing is enabled).
+    pub label: String,
+}
+
+/// Kernel construction parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Rank→node placement (shared-memory domains).
+    pub topology: Topology,
+    /// Ranks per memory-bandwidth group (usually the physical brick/node
+    /// width, which may be smaller than the shared-memory domain on
+    /// machine-wide-domain systems like the Altix).
+    pub membw_group_size: usize,
+    /// Extra virtual time consumed by a barrier after the last arrival.
+    pub barrier_latency: f64,
+    /// Independent NIC planes per node (aggregate node throughput =
+    /// planes x per-stream rate).
+    pub nic_channels: usize,
+    /// Parallel MPI progress channels per shared-memory domain.
+    pub mpi_shm_channels: usize,
+    /// Record a [`TraceEvent`] timeline.
+    pub trace: bool,
+}
+
+impl SimConfig {
+    /// A reasonable default for tests: given topology, brick = node,
+    /// cheap barriers, no tracing.
+    pub fn new(topology: Topology) -> Self {
+        SimConfig {
+            topology,
+            membw_group_size: topology.ranks_per_node(),
+            barrier_latency: 1e-6,
+            nic_channels: 1,
+            mpi_shm_channels: 1,
+            trace: false,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    /// Holds the baton, executing user code.
+    Running,
+    /// Ready to run when the scheduler picks it.
+    Runnable,
+    /// Waiting for a matching operation (recv / pair / barrier).
+    Blocked(BlockReason),
+    /// Rank program finished.
+    Done,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BlockReason {
+    Recv,
+    Pair,
+    Barrier,
+    /// Waiting to be scheduled for the first time.
+    Start,
+}
+
+struct RankState {
+    clock: f64,
+    /// The rank's CPU is unavailable before this time (own work and
+    /// remote-theft both push it).
+    cpu_free_at: f64,
+    status: Status,
+    stats: RankStats,
+}
+
+/// An in-flight (or completed — the kernel does not care) transfer.
+struct Transfer {
+    done_at: f64,
+}
+
+/// A message in a mailbox.
+pub struct Msg {
+    /// Virtual time at which the payload is available at the receiver.
+    pub avail_at: f64,
+    /// Optional real payload (empty in modeled-compute runs).
+    pub payload: Vec<f64>,
+    /// Size in bytes (for statistics).
+    pub bytes: u64,
+}
+
+type MsgKey = (usize, usize, u64); // (src, dst, tag)
+
+#[derive(Default)]
+struct BarrierState {
+    generation: u64,
+    arrived: usize,
+    max_clock: f64,
+    waiting: Vec<usize>,
+}
+
+struct KState {
+    ranks: Vec<RankState>,
+    nic_in: Vec<Resource>,
+    nic_out: Vec<Resource>,
+    membw: Vec<Resource>,
+    /// One MPI progress channel per shared-memory domain.
+    shm_chan: Vec<Resource>,
+    transfers: Vec<Transfer>,
+    mailbox: HashMap<MsgKey, VecDeque<Msg>>,
+    recv_waiting: HashMap<MsgKey, usize>,
+    pair_gate: HashMap<u64, (usize, f64)>,
+    pair_result: HashMap<(u64, usize), f64>,
+    barrier: BarrierState,
+    trace: Vec<TraceEvent>,
+    /// Ranks that have called [`Kernel::start`]; the baton is first
+    /// dispatched only when all have, so no rank can act before the
+    /// scheduler's view of "runnable" is complete.
+    registered: usize,
+    /// Set when a deadlock is detected; every blocked thread is woken
+    /// and panics, so the run unwinds instead of hanging.
+    poisoned: bool,
+}
+
+/// The shared simulation kernel. One per run; rank threads hold an
+/// `Arc<Kernel>` through their [`crate::proc::SimProc`] handles.
+pub struct Kernel {
+    cfg: SimConfig,
+    state: Mutex<KState>,
+    cvars: Vec<Condvar>,
+}
+
+impl Kernel {
+    /// Build a kernel for `cfg.topology.nranks()` ranks. Rank 0 starts
+    /// with the baton.
+    pub fn new(cfg: SimConfig) -> Self {
+        let n = cfg.topology.nranks();
+        let nodes = cfg.topology.nnodes();
+        let groups = n.div_ceil(cfg.membw_group_size.max(1));
+        let ranks = (0..n)
+            .map(|_| RankState {
+                clock: 0.0,
+                cpu_free_at: 0.0,
+                status: Status::Blocked(BlockReason::Start),
+                stats: RankStats::default(),
+            })
+            .collect();
+        Kernel {
+            cvars: (0..n).map(|_| Condvar::new()).collect(),
+            state: Mutex::new(KState {
+                ranks,
+                nic_in: vec![Resource::new(); nodes * cfg.nic_channels.max(1)],
+                nic_out: vec![Resource::new(); nodes * cfg.nic_channels.max(1)],
+                membw: vec![Resource::new(); groups],
+                shm_chan: vec![Resource::new(); nodes * cfg.mpi_shm_channels.max(1)],
+                transfers: Vec::new(),
+                mailbox: HashMap::new(),
+                recv_waiting: HashMap::new(),
+                pair_gate: HashMap::new(),
+                pair_result: HashMap::new(),
+                barrier: BarrierState::default(),
+                trace: Vec::new(),
+                registered: 0,
+                poisoned: false,
+            }),
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.cfg.topology.nranks()
+    }
+
+    fn membw_group(&self, rank: usize) -> usize {
+        rank / self.cfg.membw_group_size.max(1)
+    }
+
+    // ----- scheduling core ---------------------------------------------
+
+    /// Pick the runnable rank with the least `(clock, id)` and hand it
+    /// the baton. Panics on deadlock (everything blocked, nothing done).
+    fn dispatch(&self, st: &mut KState) {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, r) in st.ranks.iter().enumerate() {
+            if r.status == Status::Runnable {
+                let key = (r.clock, i);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        match best {
+            Some((_, i)) => {
+                st.ranks[i].status = Status::Running;
+                self.cvars[i].notify_one();
+            }
+            None => {
+                if st.ranks.iter().all(|r| r.status == Status::Done) {
+                    return; // run complete
+                }
+                if st.ranks.iter().any(|r| r.status == Status::Running) {
+                    return; // baton already held
+                }
+                let blocked: Vec<String> = st
+                    .ranks
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| match r.status {
+                        Status::Blocked(why) => {
+                            Some(format!("rank {i} blocked on {why:?} at t={}", r.clock))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                // Poison the run and wake every blocked thread so the
+                // whole simulation unwinds instead of hanging.
+                st.poisoned = true;
+                for cv in &self.cvars {
+                    cv.notify_all();
+                }
+                panic!(
+                    "simulation deadlock: no runnable rank and no pending wakeups\n{}",
+                    blocked.join("\n")
+                );
+            }
+        }
+    }
+
+    /// Give up the baton and wait until it is handed back.
+    fn wait_for_baton(&self, st: &mut parking_lot::MutexGuard<'_, KState>, rank: usize) {
+        while st.ranks[rank].status != Status::Running {
+            if st.poisoned {
+                panic!("simulation deadlock (rank {rank} woken by poison)");
+            }
+            self.cvars[rank].wait(st);
+        }
+    }
+
+    /// Ensure no runnable rank is behind this one in virtual time; if
+    /// one is, yield the baton until it is this rank's turn again.
+    fn sync_turn(&self, st: &mut parking_lot::MutexGuard<'_, KState>, rank: usize) {
+        loop {
+            let my_key = (st.ranks[rank].clock, rank);
+            let earlier = st.ranks.iter().enumerate().any(|(i, r)| {
+                i != rank && r.status == Status::Runnable && (r.clock, i) < my_key
+            });
+            if !earlier {
+                return;
+            }
+            st.ranks[rank].status = Status::Runnable;
+            self.dispatch(st);
+            self.wait_for_baton(st, rank);
+        }
+    }
+
+    /// Called by the rank thread as its very first kernel interaction.
+    /// Blocks until **all** ranks have registered, then the scheduler
+    /// hands the baton to rank 0 — guaranteeing no rank acts while the
+    /// scheduler's view of the world is incomplete (which would break
+    /// the deterministic virtual-time ordering).
+    pub fn start(&self, rank: usize) {
+        let mut st = self.state.lock();
+        st.ranks[rank].status = Status::Runnable;
+        st.registered += 1;
+        if st.registered == st.ranks.len() {
+            self.dispatch(&mut st);
+        }
+        self.wait_for_baton(&mut st, rank);
+    }
+
+    /// Called when the rank's closure returns.
+    pub fn finish(&self, rank: usize) {
+        let mut st = self.state.lock();
+        self.sync_turn(&mut st, rank);
+        st.ranks[rank].status = Status::Done;
+        self.dispatch(&mut st);
+    }
+
+    // ----- primitive operations ----------------------------------------
+
+    /// Current virtual time of `rank`.
+    pub fn now(&self, rank: usize) -> f64 {
+        self.state.lock().ranks[rank].clock
+    }
+
+    /// Charge `dt` seconds of CPU work to `rank` (optionally counted as
+    /// computation in the statistics). Respects CPU time stolen by
+    /// remote non-zero-copy operations.
+    pub fn advance(&self, rank: usize, dt: f64, compute: bool, label: &str) {
+        assert!(dt >= 0.0 && dt.is_finite(), "bad advance dt={dt}");
+        let mut st = self.state.lock();
+        self.sync_turn(&mut st, rank);
+        let r = &mut st.ranks[rank];
+        // `cpu_free_at` may be ahead of the clock when a remote
+        // non-zero-copy operation stole CPU time from this rank (theft
+        // is accounted in `stolen_cpu_time` at injection).
+        let start = r.clock.max(r.cpu_free_at);
+        let end = start + dt;
+        r.clock = end;
+        r.cpu_free_at = end;
+        if compute {
+            r.stats.compute_time += dt;
+        }
+        if self.cfg.trace && compute && dt > 0.0 {
+            st.trace.push(TraceEvent {
+                rank,
+                t0: start,
+                t1: end,
+                kind: TraceKind::Compute,
+                label: label.to_string(),
+            });
+        }
+    }
+
+    /// Issue a (possibly nonblocking) data movement. Returns an id whose
+    /// completion time is already fixed; [`Kernel::wait_transfer`]
+    /// advances the clock to it.
+    pub fn issue_transfer(&self, rank: usize, spec: TransferSpec) -> TransferId {
+        let mut st = self.state.lock();
+        self.sync_turn(&mut st, rank);
+        let topo = self.cfg.topology;
+        let c = spec.cost;
+        let now = st.ranks[rank].clock;
+        let ready = now + c.latency;
+
+        // Resource phase. (Deref the guard once so two fields can be
+        // borrowed simultaneously.)
+        let stt: &mut KState = &mut st;
+        let (start, end) = match c.path {
+            Path::Network => {
+                let nch = self.cfg.nic_channels.max(1);
+                let ch = (spec.src_rank + spec.dst_rank) % nch;
+                let sn = topo.node_of(spec.src_rank) * nch + ch;
+                let dn = topo.node_of(spec.dst_rank) * nch + ch;
+                debug_assert_ne!(
+                    topo.node_of(spec.src_rank),
+                    topo.node_of(spec.dst_rank),
+                    "network transfer within one node"
+                );
+                // Store-and-forward through the NIC buffers (Myrinet
+                // SRAM, LAPI DMA buffers): the source's send channel
+                // and the destination's receive channel are acquired
+                // *in sequence*, not jointly — a transfer whose
+                // destination is busy does not block the source
+                // channel. (A joint reservation would fragment both
+                // schedules and underestimate achievable throughput
+                // for permutation traffic like the diagonal shift's.)
+                let (s1, e1) = stt.nic_out[sn].acquire(ready, c.wire);
+                let _ = s1;
+                let (s2, e2) = stt.nic_in[dn].acquire(e1 - c.wire, c.wire);
+                let _ = s2;
+                (e1 - c.wire, e2)
+            }
+            Path::SharedMemory => {
+                let sg = self.membw_group(spec.src_rank);
+                let dg = self.membw_group(spec.dst_rank);
+                if sg == dg {
+                    stt.membw[sg].acquire(ready, c.membw)
+                } else {
+                    let (a, b) = split_one(&mut stt.membw, sg, dg);
+                    acquire_joint(&mut [a, b], ready, c.membw)
+                }
+            }
+            Path::ShmChannel => {
+                // Intra-domain MPI traffic serializes on the domain's
+                // progress channel(s).
+                let nch = self.cfg.mpi_shm_channels.max(1);
+                let sn = topo.node_of(spec.src_rank);
+                debug_assert_eq!(
+                    sn,
+                    topo.node_of(spec.dst_rank),
+                    "shm-channel transfer must stay within one domain"
+                );
+                let ch = (spec.src_rank + spec.dst_rank) % nch;
+                stt.shm_chan[sn * nch + ch].acquire(ready, c.membw)
+            }
+        };
+
+        // Remote CPU theft (non-zero-copy protocols) lands on the
+        // endpoint that is not issuing the operation.
+        if c.remote_cpu > 0.0 {
+            let victim_rank = if spec.src_rank == rank {
+                spec.dst_rank
+            } else {
+                spec.src_rank
+            };
+            if victim_rank != rank {
+                let victim = &mut st.ranks[victim_rank];
+                victim.cpu_free_at = victim.cpu_free_at.max(start) + c.remote_cpu;
+                victim.stats.stolen_cpu_time += c.remote_cpu;
+            }
+        }
+
+        // Initiator busy portion: fixed issue overhead plus the part of
+        // the (contention-stretched) occupancy it must drive itself.
+        let driven = (1.0 - c.async_fraction).clamp(0.0, 1.0) * (end - ready).max(0.0);
+        let busy = c.initiator_cpu + driven;
+        let r = &mut st.ranks[rank];
+        let issue_start = r.clock.max(r.cpu_free_at);
+        r.clock = issue_start + busy;
+        r.cpu_free_at = r.clock;
+        r.stats.comm_busy_time += busy;
+        r.stats.transfers += 1;
+        match c.path {
+            Path::Network => r.stats.bytes_network += spec.bytes,
+            Path::SharedMemory | Path::ShmChannel => r.stats.bytes_shm += spec.bytes,
+        }
+        let done_at = end.max(r.clock);
+        r.stats.inflight_time += done_at - r.clock;
+
+        if self.cfg.trace {
+            st.trace.push(TraceEvent {
+                rank,
+                t0: now,
+                t1: done_at,
+                kind: TraceKind::Transfer,
+                label: spec.label,
+            });
+        }
+        st.transfers.push(Transfer { done_at });
+        TransferId(st.transfers.len() - 1)
+    }
+
+    /// Block (in virtual time) until the transfer completes; accounts
+    /// the incurred wait.
+    pub fn wait_transfer(&self, rank: usize, id: TransferId) {
+        let mut st = self.state.lock();
+        self.sync_turn(&mut st, rank);
+        let done_at = st.transfers[id.0].done_at;
+        let r = &mut st.ranks[rank];
+        if done_at > r.clock {
+            let wait = done_at - r.clock;
+            r.stats.wait_time += wait;
+            if self.cfg.trace {
+                let t0 = r.clock;
+                st.trace.push(TraceEvent {
+                    rank,
+                    t0,
+                    t1: done_at,
+                    kind: TraceKind::Wait,
+                    label: String::new(),
+                });
+            }
+            let r = &mut st.ranks[rank];
+            r.clock = done_at;
+            r.cpu_free_at = r.cpu_free_at.max(done_at);
+        }
+    }
+
+    /// Completion time of an issued transfer (virtual seconds). The
+    /// value is exact — see the module docs.
+    pub fn transfer_done_at(&self, id: TransferId) -> f64 {
+        self.state.lock().transfers[id.0].done_at
+    }
+
+    /// Deposit a message for `(src=rank_of_sender → dst)` with the given
+    /// availability time; wakes a waiting receiver.
+    pub fn post_msg(&self, rank: usize, dst: usize, tag: u64, msg: Msg) {
+        let mut st = self.state.lock();
+        self.sync_turn(&mut st, rank);
+        st.ranks[rank].stats.messages += 1;
+        let key: MsgKey = (rank, dst, tag);
+        st.mailbox.entry(key).or_default().push_back(msg);
+        if let Some(waiter) = st.recv_waiting.remove(&key) {
+            st.ranks[waiter].status = Status::Runnable;
+            // The waiter re-runs its receive path and picks the message
+            // up with correct wait accounting.
+        }
+    }
+
+    /// Receive the next message from `src` with `tag`; blocks (in both
+    /// virtual and host time) until one is available.
+    pub fn recv_msg(&self, rank: usize, src: usize, tag: u64) -> Msg {
+        let mut st = self.state.lock();
+        let key: MsgKey = (src, rank, tag);
+        loop {
+            self.sync_turn(&mut st, rank);
+            if let Some(queue) = st.mailbox.get_mut(&key) {
+                if let Some(msg) = queue.pop_front() {
+                    if queue.is_empty() {
+                        st.mailbox.remove(&key);
+                    }
+                    let r = &mut st.ranks[rank];
+                    if msg.avail_at > r.clock {
+                        r.stats.wait_time += msg.avail_at - r.clock;
+                        r.clock = msg.avail_at;
+                        r.cpu_free_at = r.cpu_free_at.max(r.clock);
+                    }
+                    return msg;
+                }
+            }
+            let prev = st.recv_waiting.insert(key, rank);
+            assert!(
+                prev.is_none(),
+                "two ranks receiving on the same (src={src}, dst={rank}, tag={tag})"
+            );
+            st.ranks[rank].status = Status::Blocked(BlockReason::Recv);
+            self.dispatch(&mut st);
+            self.wait_for_baton(&mut st, rank);
+        }
+    }
+
+    /// Two-party rendezvous on `key`: both callers return the pairing
+    /// time `max(clock_a, clock_b)`, with their clocks advanced to it.
+    /// Used by the MPI layer's rendezvous protocol.
+    pub fn pair_sync(&self, rank: usize, key: u64) -> f64 {
+        let mut st = self.state.lock();
+        self.sync_turn(&mut st, rank);
+        if let Some((peer, peer_clock)) = st.pair_gate.remove(&key) {
+            let t = st.ranks[rank].clock.max(peer_clock);
+            // Wake the first arriver with the result stashed for it.
+            st.pair_result.insert((key, peer), t);
+            let waited = t - peer_clock;
+            st.ranks[peer].stats.wait_time += waited;
+            st.ranks[peer].clock = t;
+            st.ranks[peer].cpu_free_at = st.ranks[peer].cpu_free_at.max(t);
+            st.ranks[peer].status = Status::Runnable;
+            let r = &mut st.ranks[rank];
+            r.clock = t;
+            r.cpu_free_at = r.cpu_free_at.max(t);
+            return t;
+        }
+        let my_clock = st.ranks[rank].clock;
+        st.pair_gate.insert(key, (rank, my_clock));
+        st.ranks[rank].status = Status::Blocked(BlockReason::Pair);
+        self.dispatch(&mut st);
+        self.wait_for_baton(&mut st, rank);
+        st.pair_result
+            .remove(&(key, rank))
+            .expect("pair_sync woken without a result")
+    }
+
+    /// Full barrier over all ranks. Releases everyone at
+    /// `max(arrival clocks) + barrier_latency`.
+    pub fn barrier(&self, rank: usize) {
+        let mut st = self.state.lock();
+        self.sync_turn(&mut st, rank);
+        let my_clock = st.ranks[rank].clock;
+        let n = st.ranks.len();
+        st.barrier.arrived += 1;
+        st.barrier.max_clock = st.barrier.max_clock.max(my_clock);
+        if st.barrier.arrived == n {
+            let release = st.barrier.max_clock + self.cfg.barrier_latency;
+            let waiting = std::mem::take(&mut st.barrier.waiting);
+            st.barrier.arrived = 0;
+            st.barrier.max_clock = 0.0;
+            st.barrier.generation += 1;
+            for w in waiting {
+                let r = &mut st.ranks[w];
+                r.stats.barrier_time += release - r.clock;
+                r.clock = release;
+                r.cpu_free_at = r.cpu_free_at.max(release);
+                r.status = Status::Runnable;
+            }
+            let r = &mut st.ranks[rank];
+            r.stats.barrier_time += release - r.clock;
+            r.clock = release;
+            r.cpu_free_at = r.cpu_free_at.max(release);
+        } else {
+            st.barrier.waiting.push(rank);
+            st.ranks[rank].status = Status::Blocked(BlockReason::Barrier);
+            self.dispatch(&mut st);
+            self.wait_for_baton(&mut st, rank);
+        }
+    }
+
+    // ----- results -------------------------------------------------------
+
+    /// Final clocks and statistics; call after all ranks finished.
+    pub fn collect(&self) -> (Vec<f64>, Vec<RankStats>, Vec<TraceEvent>) {
+        let mut st = self.state.lock();
+        assert!(
+            st.ranks.iter().all(|r| r.status == Status::Done),
+            "collect() before all ranks finished"
+        );
+        let times = st.ranks.iter().map(|r| r.clock).collect();
+        let stats = st.ranks.iter().map(|r| r.stats).collect();
+        let trace = std::mem::take(&mut st.trace);
+        (times, stats, trace)
+    }
+}
+
+/// Borrow two distinct elements of one vector mutably.
+fn split_one(v: &mut [Resource], i: usize, j: usize) -> (&mut Resource, &mut Resource) {
+    assert_ne!(i, j);
+    if i < j {
+        let (lo, hi) = v.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_one_returns_distinct() {
+        let mut v = vec![Resource::new(); 4];
+        v[2].acquire(0.0, 5.0);
+        let (a, b) = split_one(&mut v, 2, 0);
+        assert_eq!(a.busy_until(), 5.0);
+        assert_eq!(b.busy_until(), 0.0);
+        let (a, b) = split_one(&mut v, 0, 2);
+        assert_eq!(a.busy_until(), 0.0);
+        assert_eq!(b.busy_until(), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_one_same_index_panics() {
+        let mut v = vec![Resource::new(); 2];
+        let _ = split_one(&mut v, 1, 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! # srumma-sim — deterministic virtual-time execution of rank programs
+//!
+//! The SRUMMA paper evaluates parallel algorithms on four machines we do
+//! not have. This crate provides the substitute: a **conservative,
+//! sequential discrete-event simulator** that runs *real rank programs*
+//! (ordinary blocking Rust closures, one per process) against a virtual
+//! clock driven by the cost model in `srumma-model`.
+//!
+//! ## Execution model
+//!
+//! * Each rank is an OS thread executing an arbitrary closure — the
+//!   *actual algorithm implementation*, written in natural blocking
+//!   style against the [`proc::SimProc`] handle.
+//! * Exactly **one rank thread runs at a time** ("baton passing"); the
+//!   kernel always resumes the runnable rank with the lowest virtual
+//!   clock (ties broken by rank id), and processes pending events in
+//!   `(time, seq)` order before letting a later-clocked rank act. This
+//!   makes every simulation bit-for-bit deterministic, independent of
+//!   host scheduling.
+//! * Time costs come from [`srumma_model::TransferCost`] decompositions
+//!   and the analytic dgemm efficiency model; *data movement is real*
+//!   when callers choose to move real data (so numerics can be verified
+//!   end-to-end in tests) and elided in "modeled compute" runs at
+//!   paper-scale sizes.
+//!
+//! ## Resources and contention
+//!
+//! FIFO busy-until resources capture the contention effects the paper
+//! manipulates:
+//!
+//! * one **NIC channel pair** (in/out) per node — four ranks of one SMP
+//!   node pulling blocks from the same remote node serialize on that
+//!   node's NIC, which is exactly the contention SRUMMA's diagonal-shift
+//!   task ordering avoids (paper Figure 4);
+//! * one **memory-bandwidth group** per brick/node — concurrent
+//!   intra-domain copies and memory-bound compute share it (the Altix
+//!   N=12000 saturation in Figure 10);
+//! * one **CPU** per rank — non-zero-copy RMA (IBM LAPI) steals remote
+//!   CPU time from whatever that rank was computing (Figure 9's
+//!   zero-copy ablation).
+//!
+//! ## Entry point
+//!
+//! [`runner::run_sim`] launches the rank threads, runs the simulation to
+//! completion and returns per-rank outputs, final virtual times and
+//! aggregated [`stats::RunStats`].
+
+pub mod event;
+pub mod kernel;
+pub mod proc;
+pub mod resource;
+pub mod runner;
+pub mod stats;
+pub mod trace;
+
+pub use kernel::{SimConfig, TransferId, TransferSpec};
+pub use proc::SimProc;
+pub use runner::{run_sim, SimResult};
+pub use stats::{RankStats, RunStats};
+pub use trace::{TraceEvent, TraceKind};

@@ -1,0 +1,98 @@
+//! The per-rank handle rank programs are written against.
+//!
+//! A `SimProc` is what a rank closure receives: its identity, the
+//! machine topology, and the virtual-time operations. Higher-level
+//! communication APIs (ARMCI-style RMA, MPI-style messaging) are built
+//! on these primitives in `srumma-comm`.
+
+use crate::kernel::{Kernel, Msg, SimConfig, TransferId, TransferSpec};
+use srumma_model::Topology;
+use std::sync::Arc;
+
+/// Handle to the simulation for one rank. Cheap to clone within the
+/// rank's thread; do not share across rank threads.
+#[derive(Clone)]
+pub struct SimProc {
+    kernel: Arc<Kernel>,
+    rank: usize,
+}
+
+impl SimProc {
+    pub(crate) fn new(kernel: Arc<Kernel>, rank: usize) -> Self {
+        SimProc { kernel, rank }
+    }
+
+    /// This rank's id, `0..nranks`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.kernel.nranks()
+    }
+
+    /// Rank→node placement.
+    pub fn topology(&self) -> Topology {
+        self.kernel.config().topology
+    }
+
+    /// Kernel configuration.
+    pub fn config(&self) -> &SimConfig {
+        self.kernel.config()
+    }
+
+    /// Current virtual time (seconds).
+    pub fn now(&self) -> f64 {
+        self.kernel.now(self.rank)
+    }
+
+    /// Charge `dt` seconds of non-compute CPU work (protocol handling,
+    /// packing, etc.).
+    pub fn advance(&self, dt: f64) {
+        self.kernel.advance(self.rank, dt, false, "");
+    }
+
+    /// Charge `dt` seconds of *computation* (counted in the statistics
+    /// and traced with `label`).
+    pub fn charge_compute(&self, dt: f64, label: &str) {
+        self.kernel.advance(self.rank, dt, true, label);
+    }
+
+    /// Issue a data movement described by `spec`; returns immediately
+    /// (in virtual time, after the initiator-busy portion).
+    pub fn issue_transfer(&self, spec: TransferSpec) -> TransferId {
+        self.kernel.issue_transfer(self.rank, spec)
+    }
+
+    /// Advance the clock to the transfer's completion.
+    pub fn wait_transfer(&self, id: TransferId) {
+        self.kernel.wait_transfer(self.rank, id);
+    }
+
+    /// Completion time of an issued transfer.
+    pub fn transfer_done_at(&self, id: TransferId) -> f64 {
+        self.kernel.transfer_done_at(id)
+    }
+
+    /// Deposit a message for `dst` (used by the MPI layer; `avail_at`
+    /// inside `msg` must already account for the transfer time).
+    pub fn post_msg(&self, dst: usize, tag: u64, msg: Msg) {
+        self.kernel.post_msg(self.rank, dst, tag, msg);
+    }
+
+    /// Receive the next message from `src` with `tag` (blocking).
+    pub fn recv_msg(&self, src: usize, tag: u64) -> Msg {
+        self.kernel.recv_msg(self.rank, src, tag)
+    }
+
+    /// Two-party rendezvous; returns the pairing time.
+    pub fn pair_sync(&self, key: u64) -> f64 {
+        self.kernel.pair_sync(self.rank, key)
+    }
+
+    /// Full barrier across all ranks.
+    pub fn barrier(&self) {
+        self.kernel.barrier(self.rank);
+    }
+}

@@ -1,0 +1,238 @@
+//! Launching a simulation: one thread per rank, scoped, deterministic.
+
+use crate::kernel::{Kernel, SimConfig};
+use crate::proc::SimProc;
+use crate::stats::RunStats;
+use crate::trace::TraceEvent;
+use std::sync::Arc;
+
+/// Everything a finished simulation returns.
+#[derive(Debug)]
+pub struct SimResult<T> {
+    /// Per-rank return values of the rank closures.
+    pub outputs: Vec<T>,
+    /// Aggregated statistics (per-rank counters, final clocks, makespan).
+    pub stats: RunStats,
+    /// Trace events (empty unless `SimConfig::trace`).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl<T> SimResult<T> {
+    /// The run's virtual wall-clock: the latest final rank time.
+    pub fn makespan(&self) -> f64 {
+        self.stats.makespan
+    }
+}
+
+/// Run `body` once per rank under the virtual-time kernel and collect
+/// outputs, statistics and traces.
+///
+/// `body` receives the rank's [`SimProc`] handle. Rank programs are
+/// ordinary blocking code; the kernel interleaves them deterministically
+/// in virtual-time order, so two runs of the same program produce
+/// identical virtual timings bit-for-bit.
+///
+/// # Panics
+/// Re-raises the first rank panic (lowest rank id), and panics on
+/// simulation deadlock.
+pub fn run_sim<T, F>(cfg: SimConfig, body: F) -> SimResult<T>
+where
+    T: Send,
+    F: Fn(&SimProc) -> T + Sync,
+{
+    let nranks = cfg.topology.nranks();
+    let kernel = Arc::new(Kernel::new(cfg));
+    let mut outputs: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+    let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for (rank, slot) in outputs.iter_mut().enumerate() {
+            let kernel = Arc::clone(&kernel);
+            let body = &body;
+            handles.push(scope.spawn(move || {
+                let proc = SimProc::new(Arc::clone(&kernel), rank);
+                kernel.start(rank);
+                // If the body panics we must still release the baton,
+                // or every other rank thread hangs and the panic never
+                // surfaces. Catch, mark the rank done, re-raise later.
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&proc)));
+                kernel.finish(rank);
+                match result {
+                    Ok(v) => {
+                        *slot = Some(v);
+                        None
+                    }
+                    Err(payload) => Some(payload),
+                }
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(None) => {}
+                Ok(Some(payload)) => panics.push(payload),
+                // The thread itself panicked (e.g. deadlock detected in
+                // a kernel call made after the catch_unwind region).
+                Err(payload) => panics.push(payload),
+            }
+        }
+    });
+
+    if let Some(payload) = panics.into_iter().next() {
+        std::panic::resume_unwind(payload);
+    }
+
+    let (times, rank_stats, trace) = kernel.collect();
+    let makespan = times.iter().copied().fold(0.0, f64::max);
+    SimResult {
+        outputs: outputs.into_iter().map(|o| o.unwrap()).collect(),
+        stats: RunStats {
+            ranks: rank_stats,
+            final_times: times,
+            makespan,
+        },
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srumma_model::Topology;
+
+    fn cfg(nranks: usize, per_node: usize) -> SimConfig {
+        SimConfig::new(Topology::new(nranks, per_node))
+    }
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let res = run_sim(cfg(4, 2), |p| (p.rank(), p.nranks()));
+        assert_eq!(res.outputs, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn compute_advances_clock() {
+        let res = run_sim(cfg(3, 1), |p| {
+            p.charge_compute(1.5 * (p.rank() as f64 + 1.0), "work");
+            p.now()
+        });
+        assert_eq!(res.outputs, vec![1.5, 3.0, 4.5]);
+        assert_eq!(res.makespan(), 4.5);
+        assert_eq!(res.stats.ranks[2].compute_time, 4.5);
+    }
+
+    #[test]
+    fn barrier_aligns_everyone() {
+        let res = run_sim(cfg(4, 4), |p| {
+            p.charge_compute(p.rank() as f64, "stagger");
+            p.barrier();
+            p.now()
+        });
+        // Everyone leaves at max(arrivals) + barrier latency.
+        let t = res.outputs[0];
+        assert!(res.outputs.iter().all(|&x| x == t));
+        assert!(t >= 3.0);
+        assert!(res.stats.ranks[0].barrier_time >= 3.0);
+        assert!(res.stats.ranks[3].barrier_time < 1e-3);
+    }
+
+    #[test]
+    fn messages_carry_payloads_and_time() {
+        use crate::kernel::Msg;
+        let res = run_sim(cfg(2, 1), |p| {
+            if p.rank() == 0 {
+                p.charge_compute(2.0, "pre-send work");
+                p.post_msg(
+                    1,
+                    7,
+                    Msg {
+                        avail_at: p.now() + 0.5,
+                        payload: vec![42.0],
+                        bytes: 8,
+                    },
+                );
+                0.0
+            } else {
+                let m = p.recv_msg(0, 7);
+                assert_eq!(m.payload, vec![42.0]);
+                p.now()
+            }
+        });
+        // Receiver resumed exactly when the payload became available.
+        assert!((res.outputs[1] - 2.5).abs() < 1e-12);
+        assert!(res.stats.ranks[1].wait_time >= 2.4);
+    }
+
+    #[test]
+    fn recv_before_send_blocks_correctly() {
+        use crate::kernel::Msg;
+        // Receiver arrives first; sender shows up later.
+        let res = run_sim(cfg(2, 1), |p| {
+            if p.rank() == 1 {
+                let m = p.recv_msg(0, 1);
+                (p.now(), m.payload[0])
+            } else {
+                p.charge_compute(5.0, "delay");
+                p.post_msg(
+                    1,
+                    1,
+                    Msg {
+                        avail_at: p.now(),
+                        payload: vec![9.0],
+                        bytes: 8,
+                    },
+                );
+                (p.now(), 0.0)
+            }
+        });
+        assert_eq!(res.outputs[1], (5.0, 9.0));
+    }
+
+    #[test]
+    fn pair_sync_returns_max_clock_to_both() {
+        let res = run_sim(cfg(2, 1), |p| {
+            p.charge_compute(if p.rank() == 0 { 1.0 } else { 4.0 }, "skew");
+            let t = p.pair_sync(99);
+            (t, p.now())
+        });
+        assert_eq!(res.outputs[0], (4.0, 4.0));
+        assert_eq!(res.outputs[1], (4.0, 4.0));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            run_sim(cfg(6, 2), |p| {
+                // A little asymmetric mixing of compute and barriers.
+                p.charge_compute(0.1 * ((p.rank() * 7 % 5) as f64 + 1.0), "a");
+                p.barrier();
+                p.charge_compute(0.05 * (p.rank() as f64 + 1.0), "b");
+                p.now()
+            })
+            .outputs
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        // Rank 0 waits for a message nobody sends while rank 1 exits.
+        let _ = run_sim(cfg(2, 1), |p| {
+            if p.rank() == 0 {
+                let _ = p.recv_msg(1, 0);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank body exploded")]
+    fn rank_panic_propagates() {
+        let _ = run_sim(cfg(2, 1), |p| {
+            if p.rank() == 1 {
+                panic!("rank body exploded");
+            }
+        });
+    }
+}

@@ -1,0 +1,155 @@
+//! Tests for multi-channel resources: NIC planes and MPI progress
+//! channels multiply aggregate throughput without changing per-stream
+//! rates.
+
+use srumma_model::network::Path;
+use srumma_model::{Topology, TransferCost};
+use srumma_sim::{run_sim, SimConfig, TransferSpec};
+
+fn net_cost(wire: f64) -> TransferCost {
+    TransferCost {
+        latency: 0.0,
+        initiator_cpu: 0.0,
+        remote_cpu: 0.0,
+        wire,
+        membw: 0.0,
+        path: Path::Network,
+        async_fraction: 1.0,
+    }
+}
+
+fn shm_chan_cost(dur: f64) -> TransferCost {
+    TransferCost {
+        latency: 0.0,
+        initiator_cpu: 0.0,
+        remote_cpu: 0.0,
+        wire: 0.0,
+        membw: dur,
+        path: Path::ShmChannel,
+        async_fraction: 0.0,
+    }
+}
+
+/// Two ranks on node 0 pull from distinct ranks of node 1. With one NIC
+/// plane the node-1 egress serializes them; with two planes (and the
+/// parity-based channel choice separating these flows) they proceed in
+/// parallel.
+#[test]
+fn nic_planes_multiply_aggregate_throughput() {
+    let run = |planes: usize| {
+        let cfg = SimConfig {
+            nic_channels: planes,
+            ..SimConfig::new(Topology::new(4, 2))
+        };
+        run_sim(cfg, |p| {
+            // Ranks 0, 1 (node 0) both fetch from rank 2 (node 1):
+            // (src + dst) parities 0+2 and 1+2 differ, so with two
+            // planes the flows use distinct channels.
+            if p.rank() < 2 {
+                let src = 2;
+                let t = p.issue_transfer(TransferSpec {
+                    cost: net_cost(1e-3),
+                    src_rank: src,
+                    dst_rank: p.rank(),
+                    bytes: 1000,
+                    label: String::new(),
+                });
+                p.wait_transfer(t);
+            }
+            p.now()
+        })
+        .makespan()
+    };
+    let one = run(1);
+    let two = run(2);
+    assert!(one > 1.9e-3, "single plane must serialize: {one}");
+    assert!(two < 1.1e-3, "two planes must parallelize: {two}");
+}
+
+/// Same for the intra-domain MPI progress channels.
+#[test]
+fn shm_channels_multiply_aggregate_throughput() {
+    let run = |channels: usize| {
+        let cfg = SimConfig {
+            mpi_shm_channels: channels,
+            ..SimConfig::new(Topology::new(4, 4))
+        };
+        run_sim(cfg, |p| {
+            // Rank 0 -> 2 (channel (0+2)%2 = 0), rank 1 -> 2? choose
+            // destinations with distinct parity: 0->2 (0), 1->2 (1).
+            if p.rank() < 2 {
+                let t = p.issue_transfer(TransferSpec {
+                    cost: shm_chan_cost(1e-3),
+                    src_rank: p.rank(),
+                    dst_rank: 2,
+                    bytes: 1000,
+                    label: String::new(),
+                });
+                p.wait_transfer(t);
+            }
+            p.now()
+        })
+        .makespan()
+    };
+    let one = run(1);
+    let two = run(2);
+    assert!(one > 1.9e-3, "single channel must serialize: {one}");
+    assert!(two < 1.1e-3, "two channels must parallelize: {two}");
+}
+
+/// Store-and-forward semantics: a transfer whose destination is busy
+/// does not block the source's send channel for other destinations.
+#[test]
+fn busy_destination_does_not_block_the_source_channel() {
+    // Node 0 = {0}, node 1 = {1}, node 2 = {2}.
+    // t=0: rank 1 pulls a long transfer from node 2 (occupies 1's
+    // ingress). Then rank 1 ALSO pulls from node 0 (queued on its
+    // ingress), while rank 2 pulls a short one from node 0. Rank 2's
+    // fetch must not wait for rank 1's ingress backlog.
+    let cfg = SimConfig::new(Topology::new(3, 1));
+    let res = run_sim(cfg, |p| {
+        match p.rank() {
+            1 => {
+                let long = p.issue_transfer(TransferSpec {
+                    cost: net_cost(10e-3),
+                    src_rank: 2,
+                    dst_rank: 1,
+                    bytes: 1,
+                    label: String::new(),
+                });
+                let queued = p.issue_transfer(TransferSpec {
+                    cost: net_cost(1e-3),
+                    src_rank: 0,
+                    dst_rank: 1,
+                    bytes: 1,
+                    label: String::new(),
+                });
+                p.wait_transfer(long);
+                p.wait_transfer(queued);
+            }
+            2 => {
+                p.advance(0.5e-3); // issue strictly after rank 1's ops
+                let short = p.issue_transfer(TransferSpec {
+                    cost: net_cost(1e-3),
+                    src_rank: 0,
+                    dst_rank: 2,
+                    bytes: 1,
+                    label: String::new(),
+                });
+                p.wait_transfer(short);
+            }
+            _ => {}
+        }
+        p.now()
+    });
+    // Rank 2's short fetch: node 0's egress was occupied 0..1 ms by the
+    // queued transfer's *send* phase, so rank 2 finishes ~2.5 ms —
+    // NOT after rank 1's 10 ms ingress backlog.
+    assert!(
+        res.outputs[2] < 4e-3,
+        "store-and-forward violated: rank 2 took {}",
+        res.outputs[2]
+    );
+    // Rank 1's queued transfer lands after its long ingress occupancy.
+    assert!(res.outputs[1] >= 10e-3);
+}

@@ -1,0 +1,121 @@
+//! Property-based tests on the virtual-time kernel: determinism,
+//! monotonicity and conservation over randomized rank programs.
+
+use proptest::prelude::*;
+use srumma_model::network::Path;
+use srumma_model::{Topology, TransferCost};
+use srumma_sim::{run_sim, SimConfig, TransferSpec};
+
+/// A compact, Copy description of a randomized rank program step.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Compute(u8),
+    Get { src_off: u8, kb: u8 },
+    Barrier,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u8..50).prop_map(Step::Compute),
+        ((1u8..8), (1u8..64)).prop_map(|(src_off, kb)| Step::Get { src_off, kb }),
+        Just(Step::Barrier),
+    ]
+}
+
+fn run_program(nranks: usize, per_node: usize, steps: &[Step]) -> (Vec<f64>, f64, u64) {
+    let cfg = SimConfig::new(Topology::new(nranks, per_node));
+    let res = run_sim(cfg, |p| {
+        let topo = p.topology();
+        for (i, s) in steps.iter().enumerate() {
+            match *s {
+                Step::Compute(units) => {
+                    // Vary per rank so ranks are not in lockstep.
+                    let dt = units as f64 * 1e-5 * (1.0 + (p.rank() + i) as f64 * 0.01);
+                    p.charge_compute(dt, "w");
+                }
+                Step::Get { src_off, kb } => {
+                    let src = (p.rank() + src_off as usize) % p.nranks();
+                    if src == p.rank() {
+                        continue;
+                    }
+                    let bytes = kb as u64 * 1024;
+                    let same = topo.same_domain(p.rank(), src);
+                    let cost = if same {
+                        TransferCost {
+                            latency: 1e-6,
+                            membw: bytes as f64 / 1e9,
+                            path: Path::SharedMemory,
+                            async_fraction: 0.0,
+                            ..Default::default()
+                        }
+                    } else {
+                        TransferCost {
+                            latency: 5e-6,
+                            wire: bytes as f64 / 2.5e8,
+                            path: Path::Network,
+                            async_fraction: 1.0,
+                            ..Default::default()
+                        }
+                    };
+                    let t = p.issue_transfer(TransferSpec {
+                        cost,
+                        src_rank: src,
+                        dst_rank: p.rank(),
+                        bytes,
+                        label: String::new(),
+                    });
+                    p.wait_transfer(t);
+                }
+                Step::Barrier => p.barrier(),
+            }
+        }
+        p.now()
+    });
+    let bytes = res.stats.total_network_bytes() + res.stats.total_shm_bytes();
+    (res.stats.final_times.clone(), res.stats.makespan, bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Identical programs produce bit-identical timings.
+    #[test]
+    fn simulation_is_deterministic(
+        steps in proptest::collection::vec(step_strategy(), 1..20),
+        nranks in 2usize..10,
+        per_node in 1usize..4,
+    ) {
+        let a = run_program(nranks, per_node, &steps);
+        let b = run_program(nranks, per_node, &steps);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+
+    /// Clocks never go backwards and the makespan bounds every rank.
+    #[test]
+    fn makespan_bounds_all_ranks(
+        steps in proptest::collection::vec(step_strategy(), 1..20),
+        nranks in 2usize..10,
+    ) {
+        let (times, makespan, _) = run_program(nranks, 2, &steps);
+        for t in &times {
+            prop_assert!(*t >= 0.0);
+            prop_assert!(*t <= makespan + 1e-15);
+        }
+    }
+
+    /// Adding extra compute to every rank never shortens the makespan
+    /// (a basic monotonicity sanity for the conservative scheduler).
+    #[test]
+    fn extra_work_never_helps(
+        steps in proptest::collection::vec(step_strategy(), 1..15),
+        nranks in 2usize..8,
+    ) {
+        let (_, base, _) = run_program(nranks, 2, &steps);
+        let mut more = steps.clone();
+        more.push(Step::Compute(10));
+        let (_, bigger, _) = run_program(nranks, 2, &more);
+        prop_assert!(bigger >= base - 1e-15, "{bigger} < {base}");
+    }
+}

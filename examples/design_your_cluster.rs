@@ -1,0 +1,87 @@
+//! Capacity planning with the machine model: define a *custom* cluster
+//! profile (your hardware, not the paper's), then predict how SRUMMA
+//! and pdgemm behave on it and where the interconnect becomes the
+//! bottleneck.
+//!
+//! ```sh
+//! cargo run --release --example design_your_cluster
+//! ```
+
+use srumma::core::driver::{measure_gflops, measure_modeled};
+use srumma::model::machine::RanksPerDomain;
+use srumma::model::network::{CpuParams, NetParams, ShmParams};
+use srumma::{Algorithm, GemmSpec, Machine, Platform};
+
+/// An imagined 8-way-SMP cluster with a 10x faster network than the
+/// paper's Myrinet (closer to early InfiniBand).
+fn my_cluster() -> Machine {
+    Machine {
+        platform: Platform::LinuxMyrinet, // closest tag for reporting
+        cpu: CpuParams {
+            peak_flops: 6.4e9,
+            eff: srumma::dense::EffModel::microprocessor(),
+        },
+        net: NetParams {
+            rma_latency: 3.0e-6,
+            rma_bandwidth: 2.5e9,
+            mpi_latency: 4.0e-6,
+            mpi_bandwidth: 2.2e9,
+            eager_threshold: 16 * 1024,
+            zero_copy: true,
+            host_copy_bandwidth: 3.0e9,
+            rma_issue_overhead: 0.4e-6,
+            rndv_progress_fraction: 0.05,
+            mpi_shm_bandwidth: 2.0e9,
+            mpi_shm_latency: 1.5e-6,
+            mpi_shm_channels: 1,
+            nic_channels: 2,
+        },
+        shm: ShmParams {
+            latency: 0.3e-6,
+            local_copy_bandwidth: 3.0e9,
+            remote_copy_bandwidth: 3.0e9,
+            group_mem_bandwidth: 7.0e9,
+            membw_group_size: 8,
+            cacheable_remote: true,
+            direct_access_eff: 0.95,
+        },
+        ranks_per_domain: RanksPerDomain::Fixed(8),
+    }
+}
+
+fn main() {
+    let machine = my_cluster();
+    println!("Capacity planning for a custom 8-way SMP cluster\n");
+    println!(
+        "{:>6} {:>6} {:>14} {:>14} {:>7} {:>10} {:>12}",
+        "CPUs", "N", "SRUMMA GF/s", "pdgemm GF/s", "ratio", "overlap %", "net GB moved"
+    );
+    for nranks in [16usize, 64, 256] {
+        for n in [2000usize, 8000] {
+            let spec = GemmSpec::square(n);
+            let s = measure_gflops(&machine, nranks, &Algorithm::srumma_default(), &spec);
+            let p = measure_gflops(&machine, nranks, &Algorithm::summa_default(), &spec);
+            let stats = measure_modeled(&machine, nranks, &Algorithm::srumma_default(), &spec);
+            let ov = stats
+                .mean_overlap()
+                .map(|o| format!("{:.0}", o * 100.0))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "{nranks:>6} {n:>6} {s:>14.0} {p:>14.0} {:>7.2} {ov:>10} {:>12.2}",
+                s / p,
+                stats.total_network_bytes() as f64 / 1e9
+            );
+        }
+    }
+    println!(
+        "\nParallel efficiency at 256 CPUs, N=8000: {:.0}% of 256x the serial rate",
+        100.0
+            * measure_gflops(
+                &machine,
+                256,
+                &Algorithm::srumma_default(),
+                &GemmSpec::square(8000)
+            )
+            / (256.0 * machine.serial_gflops(8000))
+    );
+}

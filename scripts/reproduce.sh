@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the SRUMMA paper.
+#
+# Outputs: paper-style tables on stdout, archived text + CSV under
+# results/. Everything is deterministic — two runs produce identical
+# numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p srumma-bench
+
+BINS=(
+    calibrate            # anchor check against DESIGN.md §6
+    fig03_pipeline
+    fig04_diagshift
+    fig05_direct_vs_copy
+    fig06_bandwidth_x1
+    fig07_overlap
+    fig08_get_bandwidth
+    fig09_zerocopy
+    fig10_srumma_vs_pdgemm
+    table1_best_cases
+    eq_model_check
+    ablation_taskorder
+    ablation_buffers
+    ablation_summa_bcast
+    sensitivity          # beyond-paper: network-speed sweep
+    memory_footprint     # paper's memory-efficiency claim
+)
+
+mkdir -p results
+for b in "${BINS[@]}"; do
+    echo "=== $b ==="
+    ./target/release/"$b" | tee "results/$b.txt"
+done
+
+echo
+echo "All experiment outputs written to results/."
