@@ -1,83 +1,59 @@
-//! Criterion bench: the serial blocked dgemm substrate (our "vendor
-//! BLAS"), across sizes and transpose variants, reporting GFLOP/s-class
+//! Bench: the serial blocked dgemm substrate (our "vendor BLAS"),
+//! across sizes and transpose variants, reporting flop/s-class
 //! throughput. This is the kernel every parallel algorithm in the
 //! workspace calls, so its absolute speed sets the thread-backend
-//! numbers.
+//! numbers. Plain wall-clock harness (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use srumma_bench::timing::bench_case;
 use srumma_dense::{dgemm, naive::naive_gemm, Matrix, Op};
 
-fn bench_blocked(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dense_gemm/blocked");
-    g.sample_size(20);
+fn bench_blocked() {
     for n in [64usize, 128, 256] {
         let a = Matrix::random(n, n, 1);
         let b = Matrix::random(n, n, 2);
         let mut out = Matrix::zeros(n, n);
-        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| {
-                dgemm(
-                    Op::N,
-                    Op::N,
-                    1.0,
-                    a.as_ref(),
-                    b.as_ref(),
-                    0.0,
-                    out.as_mut(),
-                )
-            });
+        let flops = (2 * n * n * n) as u64;
+        bench_case(&format!("dense_gemm/blocked/{n}"), flops, || {
+            dgemm(Op::N, Op::N, 1.0, a.as_ref(), b.as_ref(), 0.0, out.as_mut())
         });
     }
-    g.finish();
 }
 
-fn bench_transposes(c: &mut Criterion) {
+fn bench_transposes() {
     let n = 256usize;
     let a = Matrix::random(n, n, 1);
     let b = Matrix::random(n, n, 2);
     let mut out = Matrix::zeros(n, n);
-    let mut g = c.benchmark_group("dense_gemm/transpose_variants");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    let flops = (2 * n * n * n) as u64;
     for (ta, tb, name) in [
         (Op::N, Op::N, "NN"),
         (Op::T, Op::N, "TN"),
         (Op::N, Op::T, "NT"),
         (Op::T, Op::T, "TT"),
     ] {
-        g.bench_function(name, |bench| {
-            bench.iter(|| dgemm(ta, tb, 1.0, a.as_ref(), b.as_ref(), 0.0, out.as_mut()));
-        });
+        bench_case(
+            &format!("dense_gemm/transpose_variants/{name}"),
+            flops,
+            || dgemm(ta, tb, 1.0, a.as_ref(), b.as_ref(), 0.0, out.as_mut()),
+        );
     }
-    g.finish();
 }
 
-fn bench_naive_reference(c: &mut Criterion) {
+fn bench_naive_reference() {
     // Kept small: shows the gap blocking buys (the reason the serial
     // substrate matters at all).
     let n = 128usize;
     let a = Matrix::random(n, n, 1);
     let b = Matrix::random(n, n, 2);
     let mut out = Matrix::zeros(n, n);
-    let mut g = c.benchmark_group("dense_gemm/naive_reference");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
-    g.bench_function("128", |bench| {
-        bench.iter(|| {
-            naive_gemm(
-                Op::N,
-                Op::N,
-                1.0,
-                a.as_ref(),
-                b.as_ref(),
-                0.0,
-                out.as_mut(),
-            )
-        });
+    let flops = (2 * n * n * n) as u64;
+    bench_case("dense_gemm/naive_reference/128", flops, || {
+        naive_gemm(Op::N, Op::N, 1.0, a.as_ref(), b.as_ref(), 0.0, out.as_mut())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_blocked, bench_transposes, bench_naive_reference);
-criterion_main!(benches);
+fn main() {
+    bench_blocked();
+    bench_transposes();
+    bench_naive_reference();
+}

@@ -1,62 +1,64 @@
-//! Criterion bench: the discrete-event engine itself — event-queue
-//! operations, resource scheduling, and a full modeled SRUMMA run per
-//! iteration (the cost of regenerating one Figure-10 data point).
+//! Bench: the discrete-event engine itself — event-queue operations,
+//! resource scheduling, and a full modeled SRUMMA run per iteration
+//! (the cost of regenerating one Figure-10 data point). Plain
+//! wall-clock harness (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srumma_bench::timing::{bench_case, keep};
 use srumma_core::driver::measure_modeled;
 use srumma_core::{Algorithm, GemmSpec};
 use srumma_model::Machine;
 use srumma_sim::event::{EventKind, EventQueue};
 use srumma_sim::resource::Resource;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("sim_engine/event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.push(((i * 37) % 101) as f64, EventKind::WakeRank(i as usize));
-            }
-            let mut last = -1.0;
-            while let Some(e) = q.pop() {
-                assert!(e.time >= last);
-                last = e.time;
-            }
-        });
+fn bench_event_queue() {
+    bench_case("sim_engine/event_queue_push_pop_1k", 0, || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push(((i * 37) % 101) as f64, EventKind::WakeRank(i as usize));
+        }
+        let mut last = -1.0;
+        while let Some(e) = q.pop() {
+            assert!(e.time >= last);
+            last = e.time;
+        }
     });
 }
 
-fn bench_resource(c: &mut Criterion) {
-    c.bench_function("sim_engine/resource_acquire_10k", |b| {
-        b.iter(|| {
-            let mut r = Resource::new();
-            let mut t = 0.0;
-            for i in 0..10_000 {
-                let (_, end) = r.acquire(t, 1e-6);
-                if i % 3 == 0 {
-                    t = end;
-                }
+fn bench_resource() {
+    bench_case("sim_engine/resource_acquire_10k", 0, || {
+        let mut r = Resource::new();
+        let mut t = 0.0;
+        for i in 0..10_000 {
+            let (_, end) = r.acquire(t, 1e-6);
+            if i % 3 == 0 {
+                t = end;
             }
-            r.busy_until()
-        });
+        }
+        keep(r.busy_until());
     });
 }
 
-fn bench_modeled_run(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_engine/modeled_srumma_run");
-    g.sample_size(10);
+fn bench_modeled_run() {
     for nranks in [16usize, 64] {
         let machine = Machine::linux_myrinet();
         let spec = GemmSpec::square(4000);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(nranks),
-            &nranks,
-            |bench, &r| {
-                bench.iter(|| measure_modeled(&machine, r, &Algorithm::srumma_default(), &spec));
+        bench_case(
+            &format!("sim_engine/modeled_srumma_run/{nranks}"),
+            0,
+            || {
+                keep(measure_modeled(
+                    &machine,
+                    nranks,
+                    &Algorithm::srumma_default(),
+                    &spec,
+                ));
             },
         );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_resource, bench_modeled_run);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_resource();
+    bench_modeled_run();
+}

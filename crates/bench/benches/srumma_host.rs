@@ -1,49 +1,56 @@
-//! Criterion bench: SRUMMA on the real-thread backend — the
-//! shared-memory flavor running on today's hardware. Measures the
-//! wall-clock of the full parallel multiply at several rank counts
-//! (expect speedup over 1 rank while the host has cores to give) and
-//! compares the three algorithms at a fixed configuration.
+//! Bench: SRUMMA on the real-thread backend — the shared-memory flavor
+//! running on today's hardware. Measures the wall-clock of the full
+//! parallel multiply at several rank counts (expect speedup over 1 rank
+//! while the host has cores to give) and compares the three algorithms
+//! at a fixed configuration. Plain wall-clock harness
+//! (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use srumma_bench::timing::{bench_case, keep};
 use srumma_core::driver::multiply_threads;
 use srumma_core::{Algorithm, GemmSpec};
 use srumma_dense::Matrix;
 
-fn bench_scaling(c: &mut Criterion) {
+fn bench_scaling() {
     let n = 256usize;
     let spec = GemmSpec::square(n);
     let a = Matrix::random(n, n, 1);
     let b = Matrix::random(n, n, 2);
-    let mut g = c.benchmark_group("srumma_host/rank_scaling");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    let flops = (2 * n * n * n) as u64;
     for nranks in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(nranks), &nranks, |bench, &r| {
-            bench.iter(|| multiply_threads(r, &Algorithm::srumma_default(), &spec, &a, &b));
+        bench_case(&format!("srumma_host/rank_scaling/{nranks}"), flops, || {
+            keep(multiply_threads(
+                nranks,
+                &Algorithm::srumma_default(),
+                &spec,
+                &a,
+                &b,
+            ));
         });
     }
-    g.finish();
 }
 
-fn bench_algorithms(c: &mut Criterion) {
+fn bench_algorithms() {
     let n = 256usize;
     let spec = GemmSpec::square(n);
     let a = Matrix::random(n, n, 1);
     let b = Matrix::random(n, n, 2);
-    let mut g = c.benchmark_group("srumma_host/algorithms_4ranks");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    let flops = (2 * n * n * n) as u64;
     for (alg, name) in [
         (Algorithm::srumma_default(), "srumma"),
         (Algorithm::summa_default(), "summa"),
         (Algorithm::Cannon, "cannon"),
     ] {
-        g.bench_function(name, |bench| {
-            bench.iter(|| multiply_threads(4, &alg, &spec, &a, &b));
-        });
+        bench_case(
+            &format!("srumma_host/algorithms_4ranks/{name}"),
+            flops,
+            || {
+                keep(multiply_threads(4, &alg, &spec, &a, &b));
+            },
+        );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_scaling, bench_algorithms);
-criterion_main!(benches);
+fn main() {
+    bench_scaling();
+    bench_algorithms();
+}

@@ -11,7 +11,14 @@ use srumma_core::{Algorithm, GemmSpec, SummaOptions};
 use srumma_model::Machine;
 
 fn main() {
-    let headers = ["machine", "CPUs", "N", "tree bcast", "ring bcast", "ring/tree"];
+    let headers = [
+        "machine",
+        "CPUs",
+        "N",
+        "tree bcast",
+        "ring bcast",
+        "ring/tree",
+    ];
     let mut rows = Vec::new();
     for (machine, nranks) in [
         (Machine::linux_myrinet(), 64),

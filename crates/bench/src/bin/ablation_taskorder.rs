@@ -22,10 +22,7 @@ fn main() {
         "neither",
     ];
     let mut rows = Vec::new();
-    for (machine, nranks) in [
-        (Machine::linux_myrinet(), 64),
-        (Machine::ibm_sp(), 64),
-    ] {
+    for (machine, nranks) in [(Machine::linux_myrinet(), 64), (Machine::ibm_sp(), 64)] {
         for n in [2000usize, 4000, 8000] {
             let spec = GemmSpec::square(n);
             let gf = |smp_first: bool, diagonal_shift: bool| {

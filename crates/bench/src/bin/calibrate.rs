@@ -9,13 +9,62 @@ fn main() {
     let t0 = std::time::Instant::now();
     let anchors: Vec<(&str, Machine, usize, usize, f64, f64)> = vec![
         // name, machine, P, N, paper SRUMMA, paper pdgemm
-        ("Altix  N=1000 P=128", Machine::sgi_altix(), 128, 1000, f64::NAN, f64::NAN),
-        ("Altix  N=4000 P=128", Machine::sgi_altix(), 128, 4000, 384.0, 33.9),
-        ("X1     N=2000 P=128", Machine::cray_x1(), 128, 2000, 922.0, 128.0),
-        ("Linux  N=12000 P=128", Machine::linux_myrinet(), 128, 12000, 323.2, 138.6),
-        ("SP     N=8000 P=256", Machine::ibm_sp(), 256, 8000, 223.0, 186.0),
-        ("Altix  N=8000 P=128", Machine::sgi_altix(), 128, 8000, f64::NAN, 96.0),
-        ("X1     N=8000 P=?64", Machine::cray_x1(), 64, 8000, f64::NAN, 243.0),
+        (
+            "Altix  N=1000 P=128",
+            Machine::sgi_altix(),
+            128,
+            1000,
+            f64::NAN,
+            f64::NAN,
+        ),
+        (
+            "Altix  N=4000 P=128",
+            Machine::sgi_altix(),
+            128,
+            4000,
+            384.0,
+            33.9,
+        ),
+        (
+            "X1     N=2000 P=128",
+            Machine::cray_x1(),
+            128,
+            2000,
+            922.0,
+            128.0,
+        ),
+        (
+            "Linux  N=12000 P=128",
+            Machine::linux_myrinet(),
+            128,
+            12000,
+            323.2,
+            138.6,
+        ),
+        (
+            "SP     N=8000 P=256",
+            Machine::ibm_sp(),
+            256,
+            8000,
+            223.0,
+            186.0,
+        ),
+        (
+            "Altix  N=8000 P=128",
+            Machine::sgi_altix(),
+            128,
+            8000,
+            f64::NAN,
+            96.0,
+        ),
+        (
+            "X1     N=8000 P=?64",
+            Machine::cray_x1(),
+            64,
+            8000,
+            f64::NAN,
+            243.0,
+        ),
     ];
     for (name, machine, p, n, paper_s, paper_p) in anchors {
         let spec = GemmSpec::square(n);

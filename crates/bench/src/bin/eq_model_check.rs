@@ -34,8 +34,7 @@ fn main() {
         let q = (p as f64).sqrt() as usize;
         let block = n / q.max(1);
         let seg = n / q.max(1);
-        2.0 * (n as f64).powi(3) / p as f64
-            / (m.cpu.peak_flops * m.cpu.eff.eff(block, block, seg))
+        2.0 * (n as f64).powi(3) / p as f64 / (m.cpu.peak_flops * m.cpu.eff.eff(block, block, seg))
     };
     let tw = 8.0 / machine.net.rma_bandwidth; // per-element transfer time
     let ts = 2.0 * machine.net.rma_latency; // get startup (request+reply)
@@ -61,9 +60,8 @@ fn main() {
             });
             let t_sim = measure_modeled(&machine, p, &no_overlap, &spec).makespan;
             let sq = (p as f64).sqrt();
-            let t_eq = flop_time(&machine, n, p)
-                + 2.0 * (n as f64) * (n as f64) / sq * tw
-                + 2.0 * ts * sq;
+            let t_eq =
+                flop_time(&machine, n, p) + 2.0 * (n as f64) * (n as f64) / sq * tw + 2.0 * ts * sq;
             let overlapped = Algorithm::srumma_default();
             let t_ov = measure_modeled(&machine, p, &overlapped, &spec).makespan;
             rows.push(vec![

@@ -9,11 +9,13 @@
 //! The pipeline shape shows each get overlapped with the previous
 //! task's dgemm.
 
+use srumma_bench::write_bench_json;
 use srumma_comm::{sim_run, SimOptions};
 use srumma_core::layout::{dist_a, dist_b, dist_c};
 use srumma_core::{parallel_gemm, Algorithm, GemmSpec};
 use srumma_model::Machine;
 use srumma_sim::trace::{ascii_gantt, chrome_trace_json};
+use srumma_trace::bench_report_json;
 
 fn main() {
     let machine = Machine::linux_myrinet();
@@ -36,16 +38,24 @@ fn main() {
 
     // Quantify the overlap the picture shows.
     let overlap = res.stats.mean_overlap().unwrap_or(0.0);
-    println!("\nachieved communication overlap: {:.0}% (paper: >90% on Linux)", overlap * 100.0);
+    println!(
+        "\nachieved communication overlap: {:.0}% (paper: >90% on Linux)",
+        overlap * 100.0
+    );
     println!("virtual makespan: {:.3} ms", res.makespan() * 1e3);
 
-    // Chrome/Perfetto trace for interactive inspection.
-    if std::fs::create_dir_all("results").is_ok() {
-        let json = chrome_trace_json(&res.trace);
-        if std::fs::write("results/fig03_trace.json", json).is_ok() {
-            eprintln!("wrote results/fig03_trace.json (load in ui.perfetto.dev)");
-        }
+    // Chrome/Perfetto trace for interactive inspection, plus the
+    // unified report (metrics summary + the events it derives from).
+    let json = chrome_trace_json(&res.trace);
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/fig03_trace.json", &json).is_ok()
+    {
+        eprintln!("wrote results/fig03_trace.json (load in ui.perfetto.dev)");
     }
+    write_bench_json(
+        "fig03_pipeline",
+        &bench_report_json("fig03_pipeline", "sim", &json, &res.stats.summary_json()),
+    );
 
     // Also dump the per-task schedule of rank 0 for inspection.
     println!("\nrank 0 timeline (first 12 events):");

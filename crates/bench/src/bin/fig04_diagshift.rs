@@ -84,7 +84,12 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (m, width, p, ns) in [
-        (four_way_cluster(), 4usize, 16usize, vec![1000usize, 2000, 4000]),
+        (
+            four_way_cluster(),
+            4usize,
+            16usize,
+            vec![1000usize, 2000, 4000],
+        ),
         (Machine::ibm_sp(), 16, 64, vec![2000, 4000, 8000]),
         (Machine::ibm_sp(), 16, 256, vec![4000, 8000]),
     ] {

@@ -10,13 +10,19 @@
 
 use srumma_bench::{fmt, print_table, srumma_gflops_opts, write_csv};
 use srumma_core::{GemmSpec, ShmemFlavor, SrummaOptions};
-use srumma_model::Machine;
 use srumma_dense::Op;
+use srumma_model::Machine;
 
 fn main() {
     let n = 2000;
     let nranks = 16;
-    let headers = ["machine", "case", "direct GFLOP/s", "copy GFLOP/s", "winner"];
+    let headers = [
+        "machine",
+        "case",
+        "direct GFLOP/s",
+        "copy GFLOP/s",
+        "winner",
+    ];
     let mut rows = Vec::new();
     for machine in [Machine::cray_x1(), Machine::sgi_altix()] {
         for (ta, label) in [(Op::T, "C=AtB"), (Op::N, "C=AB")] {

@@ -12,7 +12,12 @@ use srumma_model::Machine;
 
 fn main() {
     let m = Machine::cray_x1();
-    let headers = ["bytes", "shmem copy MB/s", "direct ld/st MB/s", "MPI send/recv MB/s"];
+    let headers = [
+        "bytes",
+        "shmem copy MB/s",
+        "direct ld/st MB/s",
+        "MPI send/recv MB/s",
+    ];
     let rows: Vec<Vec<String>> = standard_sizes()
         .into_iter()
         .map(|bytes| {

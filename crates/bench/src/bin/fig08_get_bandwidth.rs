@@ -6,16 +6,24 @@
 //! AIX interrupt processing inflates it), while ARMCI's get sustains
 //! higher bandwidth from the mid range up.
 
-use srumma_bench::{fmt, print_table, write_csv};
+use srumma_bench::{fmt, print_table, write_bench_json, write_csv};
 use srumma_comm::{sim_run, Comm, DistMatrix, SimOptions};
 use srumma_model::bandwidth::{achieved_bandwidth, standard_sizes};
 use srumma_model::machine::RanksPerDomain;
 use srumma_model::protocol::Protocol;
 use srumma_model::{Machine, ProcGrid};
+use srumma_trace::{bench_report_json, chrome_trace_json, TraceKind};
 
-/// Measured get bandwidth under the simulator: a blocking get of
-/// `bytes` from a rank on another node, timed in virtual seconds.
-fn measured_get_mbps(machine: &Machine, bytes: usize) -> f64 {
+/// One traced blocking-get probe: rank 0 fetches `bytes` from a rank on
+/// another node. The achieved bandwidth is read off the recorded
+/// Transfer span (issue → completion, in virtual seconds).
+struct Probe {
+    mbps: f64,
+    trace_json: String,
+    summary_json: String,
+}
+
+fn measured_get(machine: &Machine, bytes: usize) -> Probe {
     let width = match machine.ranks_per_domain {
         RanksPerDomain::Fixed(w) => w,
         RanksPerDomain::WholeMachine => 1,
@@ -24,18 +32,30 @@ fn measured_get_mbps(machine: &Machine, bytes: usize) -> f64 {
     let peer = width;
     let rows = (bytes / 8).max(1);
     let mat = DistMatrix::create_virtual(ProcGrid::new(1, nranks), rows, nranks);
-    let opts = SimOptions::new(machine.clone(), nranks);
+    let opts = SimOptions::traced(machine.clone(), nranks);
     let res = sim_run(&opts, |c| {
         if c.rank() != 0 {
-            return 0.0;
+            return;
         }
-        let t0 = c.now();
         let mut buf = Vec::new();
         c.get(&mat, peer, &mut buf);
-        let secs = c.now() - t0;
-        mat.block_bytes(peer) as f64 / secs / 1e6
     });
-    res.outputs[0]
+    let secs: f64 = res
+        .trace
+        .iter()
+        .filter(|e| e.rank == 0 && e.kind == TraceKind::Transfer)
+        .map(|e| e.duration())
+        .sum();
+    let mbps = if secs > 0.0 {
+        mat.block_bytes(peer) as f64 / secs / 1e6
+    } else {
+        0.0
+    };
+    Probe {
+        mbps,
+        trace_json: chrome_trace_json(&res.trace),
+        summary_json: res.stats.summary_json(),
+    }
 }
 
 fn main() {
@@ -46,13 +66,16 @@ fn main() {
             "ARMCI_Get measured MB/s",
             "MPI send/recv MB/s",
         ];
+        let mut last_probe = None;
         let rows: Vec<Vec<String>> = standard_sizes()
             .into_iter()
             .map(|bytes| {
                 let get = achieved_bandwidth(&machine, Protocol::ArmciGet, bytes, true) / 1e6;
-                let meas = measured_get_mbps(&machine, bytes);
+                let probe = measured_get(&machine, bytes);
                 let mpi = achieved_bandwidth(&machine, Protocol::MpiSendRecv, bytes, true) / 1e6;
-                vec![bytes.to_string(), fmt(get), fmt(meas), fmt(mpi)]
+                let row = vec![bytes.to_string(), fmt(get), fmt(probe.mbps), fmt(mpi)];
+                last_probe = Some(probe);
+                row
             })
             .collect();
         let title = format!(
@@ -60,11 +83,14 @@ fn main() {
             machine.platform.name()
         );
         print_table(&title, &headers, &rows);
-        write_csv(
-            &format!("fig08_get_bandwidth_{:?}", machine.platform).to_lowercase(),
-            &headers,
-            &rows,
-        );
+        let stem = format!("fig08_get_bandwidth_{:?}", machine.platform).to_lowercase();
+        write_csv(&stem, &headers, &rows);
+        if let Some(probe) = &last_probe {
+            write_bench_json(
+                &stem,
+                &bench_report_json(&stem, "sim", &probe.trace_json, &probe.summary_json),
+            );
+        }
 
         // Locate the crossover (paper: small messages MPI, large ARMCI).
         let crossover = standard_sizes().into_iter().find(|&b| {

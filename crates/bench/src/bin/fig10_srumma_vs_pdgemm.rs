@@ -34,7 +34,14 @@ fn main() {
         } else {
             proc_counts(platform)
         };
-        let headers = ["N", "CPUs", "SRUMMA GFLOP/s", "pdgemm GFLOP/s", "ratio", "overlap %"];
+        let headers = [
+            "N",
+            "CPUs",
+            "SRUMMA GFLOP/s",
+            "pdgemm GFLOP/s",
+            "ratio",
+            "overlap %",
+        ];
         let mut rows = Vec::new();
         for &nranks in &procs {
             for n in sizes() {

@@ -14,9 +14,20 @@ fn main() {
     let dc = dist_c(&spec, grid, false);
     let mut opts = SimOptions::new(m, 16);
     opts.trace = true;
-    let alg = Algorithm::Srumma(SrummaOptions { diagonal_shift: true, ..Default::default() });
-    let res = sim_run(&opts, |c| { parallel_gemm(c, &alg, &spec, &da, &db, &dc); });
+    let alg = Algorithm::Srumma(SrummaOptions {
+        diagonal_shift: true,
+        ..Default::default()
+    });
+    let res = sim_run(&opts, |c| {
+        parallel_gemm(c, &alg, &spec, &da, &db, &dc);
+    });
     for e in res.trace.iter().filter(|e| e.rank == 5) {
-        println!("r5 {:>8.3}..{:>8.3} ms {:?} {}", e.t0*1e3, e.t1*1e3, e.kind, e.label);
+        println!(
+            "r5 {:>8.3}..{:>8.3} ms {:?} {}",
+            e.t0 * 1e3,
+            e.t1 * 1e3,
+            e.kind,
+            e.label
+        );
     }
 }

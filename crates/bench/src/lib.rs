@@ -14,6 +14,21 @@ use srumma_sim::RunStats;
 use std::io::Write;
 use std::path::Path;
 
+pub mod timing;
+
+/// Write a JSON report under `results/BENCH_<name>.json` (the unified
+/// trace + metrics document the figure harnesses emit).
+pub fn write_bench_json(name: &str, json: &str) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("BENCH_{name}.json"));
+    if std::fs::write(&path, json).is_ok() {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
 /// Print an aligned text table (paper-style).
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -114,7 +129,10 @@ pub fn pdgemm_best(machine: &Machine, nranks: usize, spec: &GemmSpec) -> (f64, O
         let g = measure_gflops(
             machine,
             nranks,
-            &Algorithm::Summa(SummaOptions { panel_nb: nb, ..Default::default() }),
+            &Algorithm::Summa(SummaOptions {
+                panel_nb: nb,
+                ..Default::default()
+            }),
             spec,
         );
         if g > best.0 {

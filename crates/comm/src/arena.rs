@@ -92,7 +92,10 @@ impl SharedArena {
     /// access to this region. Debug builds verify dynamically.
     pub unsafe fn region_slice(&self, id: usize) -> &[f64] {
         let (off, len) = self.regions[id];
-        debug_assert!(self.checkers[id].would_allow_read(), "region {id} is being written");
+        debug_assert!(
+            self.checkers[id].would_allow_read(),
+            "region {id} is being written"
+        );
         let data = unsafe { &*self.data.get() };
         &data[off..off + len]
     }
@@ -106,7 +109,10 @@ impl SharedArena {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn region_slice_mut(&self, id: usize) -> &mut [f64] {
         let (off, len) = self.regions[id];
-        debug_assert!(self.checkers[id].would_allow_write(), "region {id} is being accessed");
+        debug_assert!(
+            self.checkers[id].would_allow_write(),
+            "region {id} is being accessed"
+        );
         let data = unsafe { &mut *self.data.get() };
         &mut data[off..off + len]
     }

@@ -19,6 +19,7 @@
 use crate::dist::DistMatrix;
 use srumma_dense::{MatMut, MatRef, Op};
 use srumma_model::Topology;
+use srumma_trace::Recorder;
 
 /// Completion handle for a nonblocking get.
 #[derive(Debug)]
@@ -96,6 +97,15 @@ pub trait Comm {
     /// Current time (virtual seconds under simulation, wall seconds on
     /// the thread backend).
     fn now(&self) -> f64;
+
+    /// This rank's trace recorder. One implementation serves every
+    /// backend: the algorithm layer records task-level spans (against
+    /// [`Comm::now`], so the same instrumentation yields virtual times
+    /// under the simulator and wall times on threads) and bumps the
+    /// always-on fetch/direct/task counters through this handle.
+    /// Recording spans is a no-op (one branch, label unevaluated) when
+    /// the run was started without tracing.
+    fn recorder(&mut self) -> &mut Recorder;
 
     /// Full barrier.
     fn barrier(&mut self);

@@ -143,10 +143,7 @@ impl DistMatrix {
             RankOrder::RowMajor => grid.coords(rank),
             RankOrder::ColMajor => (rank % grid.p, rank / grid.p),
         };
-        (
-            chunk_len(rows, grid.p, pi),
-            chunk_len(cols, grid.q, pj),
-        )
+        (chunk_len(rows, grid.p, pi), chunk_len(cols, grid.q, pj))
     }
 
     /// `(rows, cols)` of the block owned by `rank`.
@@ -526,7 +523,13 @@ mod put_acc_tests {
         m.scale_block(0, 1.0); // no-op, NaN preserved
         assert!(m.read_block(0).mat().unwrap().data()[1].is_nan());
         m.scale_block(0, 0.0); // must clear even NaN
-        assert!(m.read_block(0).mat().unwrap().data().iter().all(|&v| v == 0.0));
+        assert!(m
+            .read_block(0)
+            .mat()
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&v| v == 0.0));
     }
 
     #[test]

@@ -40,4 +40,4 @@ pub use arena::SharedArena;
 pub use comm::{BlockMut, BlockRef, Comm, GetHandle};
 pub use dist::DistMatrix;
 pub use simbackend::{sim_run, ComputeMode, SimComm, SimOptions};
-pub use threadbackend::{thread_run, ThreadComm, ThreadRunResult};
+pub use threadbackend::{thread_run, thread_run_traced, ThreadComm, ThreadRunResult};

@@ -228,7 +228,9 @@ mod tests {
             let mine = ((c.rank() * 31 + 3) % 11) as f64;
             allreduce_max(c, mine, 100)
         });
-        let expect = (0..7).map(|r| ((r * 31 + 3) % 11) as f64).fold(0.0, f64::max);
+        let expect = (0..7)
+            .map(|r| ((r * 31 + 3) % 11) as f64)
+            .fold(0.0, f64::max);
         for v in res.outputs {
             assert_eq!(v, expect);
         }

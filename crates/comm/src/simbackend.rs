@@ -12,6 +12,7 @@ use srumma_dense::{dgemm, MatMut, MatRef, Op};
 use srumma_model::network::Path;
 use srumma_model::{protocol, Machine, Topology, TransferCost};
 use srumma_sim::{run_sim, SimConfig, SimProc, SimResult, TransferSpec};
+use srumma_trace::Recorder;
 
 /// Options for a simulated run.
 #[derive(Clone, Debug)]
@@ -33,6 +34,15 @@ impl SimOptions {
             trace: false,
         }
     }
+
+    /// Run `nranks` ranks of `machine` with event tracing on.
+    pub fn traced(machine: Machine, nranks: usize) -> Self {
+        SimOptions {
+            machine,
+            nranks,
+            trace: true,
+        }
+    }
 }
 
 /// Marker kept for API clarity in harnesses: whether a run carries real
@@ -52,6 +62,11 @@ pub struct SimComm {
     /// One-sided operations issued but not yet known complete
     /// (for `fence`).
     outstanding: Vec<srumma_sim::TransferId>,
+    /// Comm-level recorder: algorithm task spans (virtual-time) and the
+    /// fetch/direct/task counters. Fine-grained transfer/compute/wait
+    /// events stay with the kernel, which knows their exact virtual
+    /// intervals; [`sim_run`] merges both streams.
+    recorder: Recorder,
 }
 
 impl SimComm {
@@ -127,6 +142,10 @@ impl Comm for SimComm {
         self.proc.now()
     }
 
+    fn recorder(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
     fn barrier(&mut self) {
         self.proc.barrier();
     }
@@ -134,6 +153,7 @@ impl Comm for SimComm {
     fn nbget(&mut self, mat: &DistMatrix, owner: usize, buf: &mut Vec<f64>) -> GetHandle {
         let me = self.proc.rank();
         let (rows, cols) = mat.copy_block_into(owner, buf);
+        self.recorder.count_fetch((rows * cols * 8) as u64);
         if owner == me {
             // Own block: the algorithm normally uses a direct view, but
             // a copy of one's own block costs a local memcpy.
@@ -433,14 +453,41 @@ where
         trace: opts.trace,
     };
     let machine = &opts.machine;
-    run_sim(cfg, move |proc| {
+    let trace = opts.trace;
+    let res = run_sim(cfg, move |proc| {
+        let rank = proc.rank();
         let mut comm = SimComm {
             proc: proc.clone(),
             machine: machine.clone(),
             outstanding: Vec::new(),
+            recorder: Recorder::new(rank, trace),
         };
-        body(&mut comm)
-    })
+        let out = body(&mut comm);
+        let (events, counters) = comm.recorder.take();
+        (out, events, counters)
+    });
+
+    // Merge the comm-level streams (algorithm task spans, counters)
+    // into the kernel's result: one unified trace and one RunStats.
+    let SimResult {
+        outputs,
+        mut stats,
+        mut trace,
+    } = res;
+    let mut plain = Vec::with_capacity(outputs.len());
+    for (rank, (out, events, counters)) in outputs.into_iter().enumerate() {
+        trace.extend(events);
+        if rank < stats.ranks.len() {
+            stats.ranks[rank].absorb_counters(&counters);
+        }
+        plain.push(out);
+    }
+    trace.sort_by(|a, b| a.t0.total_cmp(&b.t0).then(a.rank.cmp(&b.rank)));
+    SimResult {
+        outputs: plain,
+        stats,
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -529,15 +576,37 @@ mod tests {
     fn direct_access_gemm_is_slower_on_x1_faster_than_copy_on_altix() {
         // The kernel-rate direction of Figure 5: charge factor reflects
         // cacheability of remote shared memory.
-        for (machine, expect_slow) in
-            [(Machine::cray_x1(), true), (Machine::sgi_altix(), false)]
-        {
+        for (machine, expect_slow) in [(Machine::cray_x1(), true), (Machine::sgi_altix(), false)] {
             let res = sim_run(&SimOptions::new(machine, 2), |c| {
                 let t0 = c.now();
-                c.gemm(Op::N, Op::N, 256, 256, 256, 1.0, None, None, None, true, "d");
+                c.gemm(
+                    Op::N,
+                    Op::N,
+                    256,
+                    256,
+                    256,
+                    1.0,
+                    None,
+                    None,
+                    None,
+                    true,
+                    "d",
+                );
                 let direct = c.now() - t0;
                 let t1 = c.now();
-                c.gemm(Op::N, Op::N, 256, 256, 256, 1.0, None, None, None, false, "c");
+                c.gemm(
+                    Op::N,
+                    Op::N,
+                    256,
+                    256,
+                    256,
+                    1.0,
+                    None,
+                    None,
+                    None,
+                    false,
+                    "c",
+                );
                 (direct, c.now() - t1)
             });
             let (direct, copied) = res.outputs[0];

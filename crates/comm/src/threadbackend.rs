@@ -10,11 +10,11 @@
 
 use crate::comm::{Comm, GetHandle};
 use crate::dist::DistMatrix;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use srumma_dense::{dgemm, MatMut, MatRef, Op};
-use parking_lot::{Condvar, Mutex};
 use srumma_model::Topology;
-use std::sync::Arc;
+use srumma_trace::{Counters, Recorder, RunStats, TraceEvent, TraceKind};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 type Packet = (u64, Vec<f64>);
@@ -44,8 +44,15 @@ impl PoisonBarrier {
         }
     }
 
+    /// Lock the barrier state, tolerating mutex poisoning: a panicking
+    /// rank must still be able to poison the barrier, and survivors
+    /// must be able to observe the flag and unwind.
+    fn lock(&self) -> MutexGuard<'_, BarrierState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn wait(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.lock();
         assert!(!st.poisoned, "barrier poisoned: another rank panicked");
         st.count += 1;
         if st.count == self.n {
@@ -56,13 +63,13 @@ impl PoisonBarrier {
         }
         let gen = st.generation;
         while st.generation == gen && !st.poisoned {
-            self.cv.wait(&mut st);
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         assert!(!st.poisoned, "barrier poisoned: another rank panicked");
     }
 
     fn poison(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.lock();
         st.poisoned = true;
         self.cv.notify_all();
     }
@@ -78,6 +85,33 @@ pub struct ThreadComm {
     /// `receivers[s]` receives what rank `s` sent us.
     receivers: Vec<Receiver<Packet>>,
     t0: Instant,
+    /// Wall-clock trace recorder (same implementation the simulator
+    /// backend uses, recording `Instant`-derived seconds instead of
+    /// virtual time).
+    recorder: Recorder,
+}
+
+impl ThreadComm {
+    /// Start of a recorded interval: a clock read when tracing, free
+    /// otherwise (the disabled-recorder overhead budget is one branch
+    /// per instrumentation point).
+    #[inline]
+    fn span_start(&self) -> f64 {
+        if self.recorder.is_enabled() {
+            self.t0.elapsed().as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+
+    /// Close an interval opened by [`Self::span_start`].
+    #[inline]
+    fn span_end<F: FnOnce() -> String>(&mut self, kind: TraceKind, t0: f64, bytes: u64, label: F) {
+        if self.recorder.is_enabled() {
+            let t1 = self.t0.elapsed().as_secs_f64();
+            self.recorder.span(kind, t0, t1, bytes, label);
+        }
+    }
 }
 
 impl Comm for ThreadComm {
@@ -102,13 +136,22 @@ impl Comm for ThreadComm {
         self.t0.elapsed().as_secs_f64()
     }
 
-    fn barrier(&mut self) {
-        self.barrier.wait();
+    fn recorder(&mut self) -> &mut Recorder {
+        &mut self.recorder
     }
 
+    fn barrier(&mut self) {
+        let t0 = self.span_start();
+        self.barrier.wait();
+        self.span_end(TraceKind::Barrier, t0, 0, String::new);
+    }
 
     fn nbget(&mut self, mat: &DistMatrix, owner: usize, buf: &mut Vec<f64>) -> GetHandle {
-        mat.copy_block_into(owner, buf);
+        let t0 = self.span_start();
+        let (rows, cols) = mat.copy_block_into(owner, buf);
+        let bytes = (rows * cols * 8) as u64;
+        self.recorder.count_fetch(bytes);
+        self.span_end(TraceKind::Transfer, t0, bytes, || format!("get<-{owner}"));
         GetHandle::Ready
     }
 
@@ -120,12 +163,18 @@ impl Comm for ThreadComm {
     }
 
     fn nbput(&mut self, mat: &DistMatrix, owner: usize, data: &[f64]) -> GetHandle {
+        let t0 = self.span_start();
         mat.copy_block_from(owner, data);
+        let bytes = mat.block_bytes(owner);
+        self.span_end(TraceKind::Transfer, t0, bytes, || format!("put->{owner}"));
         GetHandle::Ready
     }
 
     fn acc(&mut self, mat: &DistMatrix, owner: usize, scale: f64, data: &[f64]) {
+        let t0 = self.span_start();
         mat.acc_block_from(owner, scale, data);
+        let bytes = mat.block_bytes(owner);
+        self.span_end(TraceKind::Transfer, t0, bytes, || format!("acc->{owner}"));
     }
 
     fn fence(&mut self) {
@@ -144,7 +193,7 @@ impl Comm for ThreadComm {
         b: Option<MatRef<'_>>,
         c: Option<MatMut<'_>>,
         _direct: bool,
-        _label: &str,
+        label: &str,
     ) {
         if m == 0 || n == 0 || k == 0 {
             return; // empty block: nothing to do (and no data exists)
@@ -152,7 +201,9 @@ impl Comm for ThreadComm {
         let (Some(a), Some(b), Some(c)) = (a, b, c) else {
             panic!("thread backend requires real-backed matrices ({m}x{n}x{k} block had none)");
         };
+        let t0 = self.span_start();
         dgemm(ta, tb, alpha, a, b, 1.0, c);
+        self.span_end(TraceKind::Compute, t0, 0, || label.to_string());
     }
 
     fn send(&mut self, dst: usize, tag: u64, data: &[f64], _bytes: u64) {
@@ -162,12 +213,14 @@ impl Comm for ThreadComm {
     }
 
     fn recv(&mut self, src: usize, tag: u64, buf: &mut Vec<f64>, _bytes: u64) {
+        let t0 = self.span_start();
         let (got_tag, payload) = self.receivers[src].recv().expect("sender hung up");
         assert_eq!(
             got_tag, tag,
             "tag mismatch receiving from {src}: expected {tag}, got {got_tag}"
         );
         *buf = payload;
+        self.span_end(TraceKind::Wait, t0, 0, || format!("recv<-{src}"));
     }
 
     fn sendrecv(
@@ -193,10 +246,38 @@ pub struct ThreadRunResult<T> {
     pub outputs: Vec<T>,
     /// Wall-clock duration of the parallel section (seconds).
     pub wall_seconds: f64,
+    /// Recorded trace events (empty unless run via
+    /// [`thread_run_traced`]), merged across ranks and sorted by start
+    /// time.
+    pub trace: Vec<TraceEvent>,
+    /// Derived per-rank and aggregate metrics. Span-derived fields are
+    /// zero for untraced runs; the fetch/direct/task counters are
+    /// always real.
+    pub stats: RunStats,
 }
 
 /// Run `body` once per rank on real threads sharing the host's memory.
+/// Tracing is off: instrumentation costs one untaken branch per point.
 pub fn thread_run<T, F>(nranks: usize, body: F) -> ThreadRunResult<T>
+where
+    T: Send,
+    F: Fn(&mut ThreadComm) -> T + Sync,
+{
+    thread_run_inner(nranks, false, body)
+}
+
+/// Like [`thread_run`], but every rank records wall-clock trace events
+/// (barriers, gets/puts, kernel calls, and whatever task spans the
+/// algorithm layer adds through [`Comm::recorder`]).
+pub fn thread_run_traced<T, F>(nranks: usize, body: F) -> ThreadRunResult<T>
+where
+    T: Send,
+    F: Fn(&mut ThreadComm) -> T + Sync,
+{
+    thread_run_inner(nranks, true, body)
+}
+
+fn thread_run_inner<T, F>(nranks: usize, trace: bool, body: F) -> ThreadRunResult<T>
 where
     T: Send,
     F: Fn(&mut ThreadComm) -> T + Sync,
@@ -209,7 +290,7 @@ where
     for _s in 0..nranks {
         let mut row = vec![];
         for rx_slot in rxs.iter_mut() {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             row.push(Some(tx));
             rx_slot.push(Some(rx));
         }
@@ -217,7 +298,8 @@ where
     }
 
     let t0 = Instant::now();
-    let mut outputs: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+    let mut outputs: Vec<Option<(T, Vec<TraceEvent>, Counters)>> =
+        (0..nranks).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (rank, ((slot, tx_row), rx_col)) in outputs
@@ -240,6 +322,7 @@ where
                     senders,
                     receivers,
                     t0,
+                    recorder: Recorder::new(rank, trace),
                 };
                 // A panicking rank must poison the barrier (and drop
                 // its channel endpoints), or every other rank hangs in
@@ -248,7 +331,8 @@ where
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut comm)));
                 match result {
                     Ok(v) => {
-                        *slot = Some(v);
+                        let (events, counters) = comm.recorder.take();
+                        *slot = Some((v, events, counters));
                         None
                     }
                     Err(payload) => {
@@ -277,9 +361,36 @@ where
             std::panic::resume_unwind(payload);
         }
     });
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let mut plain = Vec::with_capacity(nranks);
+    let mut trace_events = Vec::new();
+    let mut counters = Vec::with_capacity(nranks);
+    for o in outputs {
+        let (out, events, ctr) = o.unwrap();
+        plain.push(out);
+        trace_events.extend(events);
+        counters.push(ctr);
+    }
+    trace_events.sort_by(|a, b| a.t0.total_cmp(&b.t0).then(a.rank.cmp(&b.rank)));
+    let mut stats = RunStats::from_events(nranks, &trace_events);
+    for (rank, ctr) in counters.iter().enumerate() {
+        // Span-derived fields came from `from_events`; fold in the
+        // always-on counters (fetched bytes live in bytes_shm already
+        // via Transfer spans only when traced, so account them here
+        // from the counter to keep untraced runs truthful).
+        let rs = &mut stats.ranks[rank];
+        rs.bytes_shm = ctr.bytes_fetched;
+        rs.transfers = ctr.blocks_fetched;
+        rs.absorb_counters(ctr);
+    }
+    if stats.makespan == 0.0 {
+        stats.makespan = wall_seconds;
+    }
     ThreadRunResult {
-        outputs: outputs.into_iter().map(|o| o.unwrap()).collect(),
-        wall_seconds: t0.elapsed().as_secs_f64(),
+        outputs: plain,
+        wall_seconds,
+        trace: trace_events,
+        stats,
     }
 }
 
@@ -309,7 +420,9 @@ mod tests {
         });
         for (r, got) in res.outputs.iter().enumerate() {
             let peer = (r + 1) % 4;
-            let expect: f64 = mat.read_block(peer).mat().unwrap().data()[..16].iter().sum();
+            let expect: f64 = mat.read_block(peer).mat().unwrap().data()[..16]
+                .iter()
+                .sum();
             assert!((got - expect).abs() < 1e-12);
         }
     }

@@ -17,6 +17,7 @@ use srumma_comm::dist::chunk_len;
 use srumma_comm::mpi::ring_shift;
 use srumma_comm::{Comm, DistMatrix};
 use srumma_dense::{MatRef, Op};
+use srumma_trace::TraceKind;
 
 /// Run Cannon's algorithm: `C ← C + A·B`. Collective.
 ///
@@ -49,20 +50,32 @@ pub fn cannon<C: Comm>(
     a.copy_block_into(me, &mut a_buf);
     b.copy_block_into(me, &mut b_buf);
 
-    let block_bytes_a = |col: usize| {
-        (chunk_len(spec.m, q, gi) * chunk_len(spec.k, q, col) * 8) as u64
-    };
-    let block_bytes_b = |row: usize| {
-        (chunk_len(spec.k, q, row) * chunk_len(spec.n, q, gj) * 8) as u64
-    };
+    let block_bytes_a =
+        |col: usize| (chunk_len(spec.m, q, gi) * chunk_len(spec.k, q, col) * 8) as u64;
+    let block_bytes_b =
+        |row: usize| (chunk_len(spec.k, q, row) * chunk_len(spec.n, q, gj) * 8) as u64;
 
     // Initial skew: A row i left by i ⇒ ring-shift right by (q - i);
     // B column j up by j ⇒ ring-shift down by (q - j).
     if gi % q != 0 {
-        ring_shift(comm, &my_row, q - (gi % q), &mut a_buf, block_bytes_a(gj), 1000);
+        ring_shift(
+            comm,
+            &my_row,
+            q - (gi % q),
+            &mut a_buf,
+            block_bytes_a(gj),
+            1000,
+        );
     }
     if gj % q != 0 {
-        ring_shift(comm, &my_col, q - (gj % q), &mut b_buf, block_bytes_b(gi), 1001);
+        ring_shift(
+            comm,
+            &my_col,
+            q - (gj % q),
+            &mut b_buf,
+            block_bytes_b(gi),
+            1001,
+        );
     }
 
     if spec.beta != 1.0 {
@@ -78,6 +91,13 @@ pub fn cannon<C: Comm>(
         let ka = chunk_len(spec.k, q, l);
         let av = (!a_buf.is_empty()).then(|| MatRef::new(crows, ka, ka, &a_buf));
         let bv = (!b_buf.is_empty()).then(|| MatRef::new(ka, ccols, ccols, &b_buf));
+        let traced = comm.recorder().is_enabled();
+        let t_task = if traced { comm.now() } else { 0.0 };
+        let label = if traced {
+            format!("cannon step {step}")
+        } else {
+            String::new()
+        };
         comm.gemm(
             Op::N,
             Op::N,
@@ -89,8 +109,15 @@ pub fn cannon<C: Comm>(
             bv,
             cw.mat_mut(),
             false,
-            &format!("cannon step {step}"),
+            &label,
         );
+        comm.recorder().count_task();
+        if traced {
+            let t1 = comm.now();
+            comm.recorder().span(TraceKind::Task, t_task, t1, 0, || {
+                format!("cannon step {step}")
+            });
+        }
 
         if step + 1 < q {
             // Shift A left one (receive the block one to the right) and

@@ -11,10 +11,11 @@
 use crate::api::{parallel_gemm, Algorithm};
 use crate::layout::{dist_a, dist_b, dist_c, scatter_operands};
 use crate::options::GemmSpec;
-use srumma_comm::{sim_run, thread_run, SimOptions};
+use srumma_comm::{sim_run, thread_run, thread_run_traced, SimOptions};
 use srumma_dense::Matrix;
 use srumma_model::{Machine, ProcGrid};
 use srumma_sim::RunStats;
+use srumma_trace::TraceEvent;
 
 /// Pick the process grid for `nranks` (most-square factorization —
 /// the ScaLAPACK default and the paper's analysis assumption).
@@ -63,13 +64,42 @@ pub fn measure_modeled(
     .stats
 }
 
-/// GFLOP/s of a modeled run (the unit of the paper's figures).
-pub fn measure_gflops(
+/// A run that kept its event timeline: the statistics plus the raw
+/// per-rank trace events (virtual-time under the simulator, wall-clock
+/// on threads), ready for `srumma_trace::chrome_trace_json` /
+/// `ascii_gantt` / `bench_report_json`.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// Derived per-rank and aggregate metrics.
+    pub stats: RunStats,
+    /// Merged event timeline, sorted by start time.
+    pub trace: Vec<TraceEvent>,
+}
+
+/// [`measure_modeled`] with event tracing on: virtual matrices at paper
+/// scale, returning the statistics *and* the full simulator timeline.
+pub fn measure_traced(
     machine: &Machine,
     nranks: usize,
     alg: &Algorithm,
     spec: &GemmSpec,
-) -> f64 {
+) -> TracedRun {
+    let grid = default_grid(nranks);
+    let da = dist_a(spec, grid, false);
+    let db = dist_b(spec, grid, false);
+    let dc = dist_c(spec, grid, false);
+    let opts = SimOptions::traced(machine.clone(), nranks);
+    let res = sim_run(&opts, |comm| {
+        parallel_gemm(comm, alg, spec, &da, &db, &dc);
+    });
+    TracedRun {
+        stats: res.stats,
+        trace: res.trace,
+    }
+}
+
+/// GFLOP/s of a modeled run (the unit of the paper's figures).
+pub fn measure_gflops(machine: &Machine, nranks: usize, alg: &Algorithm, spec: &GemmSpec) -> f64 {
     measure_modeled(machine, nranks, alg, spec).gflops(spec.flops())
 }
 
@@ -92,6 +122,33 @@ pub fn multiply_threads(
         parallel_gemm(comm, alg, spec, &da, &db, &dc);
     });
     (dc.gather(), res.wall_seconds)
+}
+
+/// [`multiply_threads`] with wall-clock event tracing on. Returns the
+/// numeric result and the traced run (barriers, copies, kernel calls
+/// and task envelopes, timestamped with real elapsed seconds).
+pub fn multiply_threads_traced(
+    nranks: usize,
+    alg: &Algorithm,
+    spec: &GemmSpec,
+    a: &Matrix,
+    b: &Matrix,
+) -> (Matrix, TracedRun) {
+    let grid = default_grid(nranks);
+    let da = dist_a(spec, grid, true);
+    let db = dist_b(spec, grid, true);
+    let dc = dist_c(spec, grid, true);
+    scatter_operands(spec, &da, &db, a, b);
+    let res = thread_run_traced(nranks, |comm| {
+        parallel_gemm(comm, alg, spec, &da, &db, &dc);
+    });
+    (
+        dc.gather(),
+        TracedRun {
+            stats: res.stats,
+            trace: res.trace,
+        },
+    )
 }
 
 /// The serial reference result for verification. `a` and `b` are the

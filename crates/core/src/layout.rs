@@ -126,7 +126,12 @@ pub fn b_owner(spec: &GemmSpec, grid: ProcGrid, lb: usize, j: usize) -> usize {
 /// `[rel0, rel0 + seg)` (relative to the block's k-panel), together
 /// with the transpose flag to hand to dgemm. `view` must be the whole
 /// stored block of `a_owner(spec, grid, i, la)`.
-pub fn a_seg_view<'a>(spec: &GemmSpec, view: MatRef<'a>, rel0: usize, seg: usize) -> (MatRef<'a>, Op) {
+pub fn a_seg_view<'a>(
+    spec: &GemmSpec,
+    view: MatRef<'a>,
+    rel0: usize,
+    seg: usize,
+) -> (MatRef<'a>, Op) {
     match spec.transa {
         // Stored block is (m_i × k_la): take columns.
         Op::N => (view.block(0, rel0, view.rows(), seg), Op::N),
@@ -136,7 +141,12 @@ pub fn a_seg_view<'a>(spec: &GemmSpec, view: MatRef<'a>, rel0: usize, seg: usize
 }
 
 /// Sub-view of a *stored* B block for the k-segment, with its dgemm op.
-pub fn b_seg_view<'a>(spec: &GemmSpec, view: MatRef<'a>, rel0: usize, seg: usize) -> (MatRef<'a>, Op) {
+pub fn b_seg_view<'a>(
+    spec: &GemmSpec,
+    view: MatRef<'a>,
+    rel0: usize,
+    seg: usize,
+) -> (MatRef<'a>, Op) {
     match spec.transb {
         // Stored block is (k_lb × n_j): take rows.
         Op::N => (view.block(rel0, 0, seg, view.cols()), Op::N),

@@ -126,7 +126,7 @@ mod tests {
         let grid = ProcGrid::near_square(64);
         let f = srumma_footprint(&spec, grid, &SrummaOptions::default(), false);
         assert_eq!(f.buffers, 4); // B1/B2 for A and for B
-        // 2 × (A block + B block) bytes: blocks are 500 x 500 doubles.
+                                  // 2 × (A block + B block) bytes: blocks are 500 x 500 doubles.
         assert_eq!(f.buffer_bytes, 2 * 2 * 500 * 500 * 8);
     }
 

@@ -1,7 +1,6 @@
 //! Operation descriptors and algorithm options.
 
 use srumma_dense::Op;
-use serde::{Deserialize, Serialize};
 
 /// One parallel matrix-multiplication problem:
 /// `C ← α·op(A)·op(B) + β·C` with `op(A)` of shape `m × k` and `op(B)`
@@ -74,7 +73,7 @@ impl GemmSpec {
 
 /// How SRUMMA treats operand blocks living in its shared-memory domain
 /// (the two "flavors" of §3.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ShmemFlavor {
     /// Direct access when the machine caches remote shared memory
     /// (SGI Altix), copy otherwise (Cray X1) — what the production
@@ -90,7 +89,7 @@ pub enum ShmemFlavor {
 
 /// SRUMMA scheduling options; the defaults are the paper's algorithm,
 /// the `false` settings are the ablation knobs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SrummaOptions {
     /// Move tasks whose blocks are in this rank's shared-memory domain
     /// to the front of the task list (§3.1 step 2).
@@ -160,14 +159,8 @@ mod tests {
 
     #[test]
     fn case_labels() {
-        assert_eq!(
-            GemmSpec::new(Op::T, Op::N, 1, 1, 1).case_label(),
-            "C=AᵀB"
-        );
-        assert_eq!(
-            GemmSpec::new(Op::T, Op::T, 1, 1, 1).case_label(),
-            "C=AᵀBᵀ"
-        );
+        assert_eq!(GemmSpec::new(Op::T, Op::N, 1, 1, 1).case_label(), "C=AᵀB");
+        assert_eq!(GemmSpec::new(Op::T, Op::T, 1, 1, 1).case_label(), "C=AᵀBᵀ");
     }
 
     #[test]

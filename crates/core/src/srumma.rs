@@ -25,6 +25,7 @@ use crate::options::{GemmSpec, ShmemFlavor, SrummaOptions};
 use crate::taskorder::{build_tasks, diagonal_shift_origin, order_tasks, Task};
 use srumma_comm::{Comm, DistMatrix, GetHandle};
 use srumma_dense::MatRef;
+use srumma_trace::TraceKind;
 
 /// Per-rank execution summary.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -102,10 +103,14 @@ impl Pipeline {
             })
             .expect("pipeline window larger than slot count");
         let slot = &mut self.slots[victim];
-        debug_assert!(
-            slot.pending.is_none(),
-            "evicting a slot with a pending get"
-        );
+        // The window invariant makes a pending get on the victim
+        // unlikely (`depth + 1` slots cover the whole in-flight
+        // window), but reusing a buffer that a nonblocking get is still
+        // filling would corrupt data silently — so drain any pending
+        // transfer before the buffer is overwritten.
+        if let Some(h) = slot.pending.take() {
+            comm.wait(h);
+        }
         slot.dims = mat.block_dims(owner);
         slot.panel = Some(panel);
         slot.pending = Some(comm.nbget(mat, owner, &mut slot.buf));
@@ -165,14 +170,7 @@ pub fn srumma<C: Comm>(
         topo.same_domain(me, a_owner(spec, grid, gi, t.la))
             && topo.same_domain(me, b_owner(spec, grid, t.lb, gj))
     };
-    let order = order_tasks(
-        tasks.len(),
-        &tasks,
-        aparts,
-        shift,
-        opts.smp_first,
-        is_local,
-    );
+    let order = order_tasks(tasks.len(), &tasks, aparts, shift, opts.smp_first, is_local);
 
     // Decide each block's source once.
     let direct_ok = |owner: usize, comm: &C| match opts.shmem {
@@ -238,6 +236,8 @@ pub fn srumma<C: Comm>(
         let (sa, sb) = sources[pos];
         let wa = window_a(pos);
         let wb = window_b(pos);
+        let traced = comm.recorder().is_enabled();
+        let t_task = if traced { comm.now() } else { 0.0 };
 
         // Prefetch: issue nonblocking gets for the next `depth` tasks'
         // blocks (including this task's, if not yet issued) before
@@ -265,8 +265,9 @@ pub fn srumma<C: Comm>(
                 a_pipe.wait_ready(comm, s);
                 Some(s)
             }
-            Source::Direct { .. } => {
+            Source::Direct { owner } => {
                 report.direct_blocks += 1;
+                comm.recorder().count_direct(a.block_bytes(owner));
                 None
             }
         };
@@ -276,8 +277,9 @@ pub fn srumma<C: Comm>(
                 b_pipe.wait_ready(comm, s);
                 Some(s)
             }
-            Source::Direct { .. } => {
+            Source::Direct { owner } => {
                 report.direct_blocks += 1;
+                comm.recorder().count_direct(b.block_bytes(owner));
                 None
             }
         };
@@ -287,7 +289,11 @@ pub fn srumma<C: Comm>(
         // must outlive the gemm call.
         let seg = t.klen();
         let direct = a_slot.is_none() || b_slot.is_none();
-        let label = format!("dgemm la={} lb={} k={}..{}", t.la, t.lb, t.k0, t.k1);
+        let label = if traced {
+            format!("dgemm la={} lb={} k={}..{}", t.la, t.lb, t.k0, t.k1)
+        } else {
+            String::new()
+        };
         let a_direct = match sa {
             Source::Direct { owner } => Some(a.read_block(owner)),
             _ => None,
@@ -324,9 +330,202 @@ pub fn srumma<C: Comm>(
             &label,
         );
         report.tasks += 1;
+        comm.recorder().count_task();
+        if traced {
+            let t1 = comm.now();
+            comm.recorder().span(TraceKind::Task, t_task, t1, 0, || {
+                format!("task la={} lb={} k={}..{}", t.la, t.lb, t.k0, t.k1)
+            });
+        }
     }
 
     drop(cw);
     comm.barrier();
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srumma_comm::Comm;
+    use srumma_dense::{MatMut, Op};
+    use srumma_model::{ProcGrid, Topology};
+    use srumma_trace::Recorder;
+
+    /// A `Comm` that counts gets issued vs. gets waited on: dropping a
+    /// pending handle without waiting (the pipeline-eviction bug) shows
+    /// up as `completed < issued`.
+    struct CountingComm {
+        rank: usize,
+        nranks: usize,
+        recorder: Recorder,
+        issued: usize,
+        completed: usize,
+    }
+
+    impl CountingComm {
+        fn new(rank: usize, nranks: usize) -> Self {
+            CountingComm {
+                rank,
+                nranks,
+                recorder: Recorder::disabled(rank),
+                issued: 0,
+                completed: 0,
+            }
+        }
+    }
+
+    impl Comm for CountingComm {
+        fn rank(&self) -> usize {
+            self.rank
+        }
+        fn nranks(&self) -> usize {
+            self.nranks
+        }
+        fn topology(&self) -> Topology {
+            // One rank per node: every operand block is a remote fetch.
+            Topology::flat(self.nranks)
+        }
+        fn prefer_direct_access(&self, _owner: usize) -> bool {
+            false
+        }
+        fn now(&self) -> f64 {
+            0.0
+        }
+        fn recorder(&mut self) -> &mut Recorder {
+            &mut self.recorder
+        }
+        fn barrier(&mut self) {}
+        fn nbget(&mut self, mat: &DistMatrix, owner: usize, buf: &mut Vec<f64>) -> GetHandle {
+            self.issued += 1;
+            mat.copy_block_into(owner, buf);
+            GetHandle::Ready
+        }
+        fn wait(&mut self, _h: GetHandle) {
+            self.completed += 1;
+        }
+        fn nbput(&mut self, _mat: &DistMatrix, _owner: usize, _data: &[f64]) -> GetHandle {
+            unreachable!()
+        }
+        fn acc(&mut self, _mat: &DistMatrix, _owner: usize, _scale: f64, _data: &[f64]) {
+            unreachable!()
+        }
+        fn fence(&mut self) {}
+        #[allow(clippy::too_many_arguments)]
+        fn gemm(
+            &mut self,
+            ta: Op,
+            tb: Op,
+            m: usize,
+            n: usize,
+            k: usize,
+            alpha: f64,
+            a: Option<MatRef<'_>>,
+            b: Option<MatRef<'_>>,
+            c: Option<MatMut<'_>>,
+            _direct: bool,
+            _label: &str,
+        ) {
+            if m == 0 || n == 0 || k == 0 {
+                return;
+            }
+            if let (Some(a), Some(b), Some(c)) = (a, b, c) {
+                srumma_dense::dgemm(ta, tb, alpha, a, b, 1.0, c);
+            }
+        }
+        fn send(&mut self, _dst: usize, _tag: u64, _data: &[f64], _bytes: u64) {
+            unreachable!()
+        }
+        fn recv(&mut self, _src: usize, _tag: u64, _buf: &mut Vec<f64>, _bytes: u64) {
+            unreachable!()
+        }
+        #[allow(clippy::too_many_arguments)]
+        fn sendrecv(
+            &mut self,
+            _dst: usize,
+            _tag: u64,
+            _send_data: &[f64],
+            _send_bytes: u64,
+            _src: usize,
+            _recv_buf: &mut Vec<f64>,
+            _recv_bytes: u64,
+        ) {
+            unreachable!()
+        }
+    }
+
+    /// Regression for the release-build eviction bug: reusing a slot
+    /// whose nonblocking get was never waited on used to silently drop
+    /// the handle (the guard was only a `debug_assert!`). Forcing an
+    /// eviction while the slot's get is still pending must drain it
+    /// through `Comm::wait` before the buffer is overwritten.
+    #[test]
+    fn evicting_a_pending_slot_waits_on_its_get() {
+        let mat = DistMatrix::create(ProcGrid::new(1, 1), 4, 4);
+        let mut comm = CountingComm::new(0, 1);
+        let mut fetched = 0;
+        let mut pipe = Pipeline::new(1); // two slots (B1/B2)
+
+        // Fill both slots with pending (never-waited) gets.
+        pipe.ensure_issued(&mut comm, &mat, 0, 0, &[0, 1], &mut fetched);
+        pipe.ensure_issued(&mut comm, &mat, 0, 1, &[0, 1], &mut fetched);
+        assert_eq!((comm.issued, comm.completed), (2, 0));
+
+        // A window that protects neither slot forces an eviction while
+        // the victim's get is still in flight.
+        pipe.ensure_issued(&mut comm, &mat, 0, 2, &[2], &mut fetched);
+        assert_eq!(comm.issued, 3);
+        assert_eq!(
+            comm.completed, 1,
+            "the evicted slot's pending get must be waited on, not dropped"
+        );
+        assert_eq!(fetched, 3);
+    }
+
+    /// Every issued get is eventually waited on across a full multiply,
+    /// at pipeline depths beyond the paper's two-buffer scheme and on a
+    /// non-square grid (whose merged k-segmentation revisits panels),
+    /// and the numeric result stays correct.
+    #[test]
+    fn deep_pipelines_wait_on_every_issued_get() {
+        use srumma_dense::Matrix;
+        for depth in [2usize, 3] {
+            let spec = GemmSpec::square(12);
+            let grid = ProcGrid::new(2, 3);
+            let nranks = grid.nranks();
+            let da = crate::layout::dist_a(&spec, grid, true);
+            let db = crate::layout::dist_b(&spec, grid, true);
+            let dc = crate::layout::dist_c(&spec, grid, true);
+            let a = Matrix::random(spec.m, spec.k, 7);
+            let b = Matrix::random(spec.k, spec.n, 8);
+            crate::layout::scatter_operands(&spec, &da, &db, &a, &b);
+            let opts = SrummaOptions {
+                prefetch_depth: depth,
+                shmem: ShmemFlavor::ForceCopy,
+                ..Default::default()
+            };
+            // Ranks run sequentially: each writes only its own C block
+            // and the mock's barrier is a no-op.
+            for rank in 0..nranks {
+                let mut comm = CountingComm::new(rank, nranks);
+                let report = srumma(&mut comm, &spec, &da, &db, &dc, &opts);
+                assert_eq!(report.fetched_blocks, comm.issued, "rank {rank}");
+                assert_eq!(
+                    comm.issued, comm.completed,
+                    "depth {depth} rank {rank}: gets issued ({}) != gets waited ({})",
+                    comm.issued, comm.completed
+                );
+            }
+            let got = dc.gather();
+            let want = crate::driver::serial_reference(&spec, &a, &b);
+            for i in 0..spec.m {
+                for j in 0..spec.n {
+                    assert!(
+                        (got[(i, j)] - want[(i, j)]).abs() < 1e-10,
+                        "depth {depth}: C[{i},{j}] mismatch"
+                    );
+                }
+            }
+        }
+    }
 }

@@ -20,6 +20,7 @@ use crate::taskorder::build_tasks;
 use srumma_comm::mpi::{bcast, bcast_ring};
 use srumma_comm::{Comm, DistMatrix};
 use srumma_dense::{MatRef, Op};
+use srumma_trace::TraceKind;
 
 /// Broadcast schedule for the panel distribution.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -96,6 +97,8 @@ pub fn summa<C: Comm>(
     for (step, t) in segs.iter().enumerate() {
         let seg = t.klen();
         let tag = 2 * step as u64;
+        let traced = comm.recorder().is_enabled();
+        let t_task = if traced { comm.now() } else { 0.0 };
 
         // --- broadcast the A strip along my grid row -----------------
         let a_own = a_owner(spec, grid, gi, t.la);
@@ -117,12 +120,13 @@ pub fn summa<C: Comm>(
                 }
             }
         }
-        let do_bcast = |comm: &mut C, group: &[usize], root: usize, buf: &mut Vec<f64>, bytes, tag| {
-            match opts.bcast {
+        let do_bcast =
+            |comm: &mut C, group: &[usize], root: usize, buf: &mut Vec<f64>, bytes, tag| match opts
+                .bcast
+            {
                 BcastKind::Tree => bcast(comm, group, root, buf, bytes, tag),
                 BcastKind::Ring => bcast_ring(comm, group, root, buf, bytes, tag),
-            }
-        };
+            };
         do_bcast(
             comm,
             &my_row,
@@ -179,20 +183,19 @@ pub fn summa<C: Comm>(
             (None, spec.transa)
         } else {
             match spec.transa {
-                Op::N => (
-                    Some(MatRef::new(crows, seg, seg, &a_buf)),
-                    Op::N,
-                ),
-                Op::T => (
-                    Some(MatRef::new(seg, crows, crows, &a_buf)),
-                    Op::T,
-                ),
+                Op::N => (Some(MatRef::new(crows, seg, seg, &a_buf)), Op::N),
+                Op::T => (Some(MatRef::new(seg, crows, crows, &a_buf)), Op::T),
             }
         };
         let bv = if b_buf.is_empty() {
             None
         } else {
             Some(MatRef::new(seg, ccols, ccols, &b_buf))
+        };
+        let label = if traced {
+            format!("summa step {step}")
+        } else {
+            String::new()
         };
         comm.gemm(
             ta,
@@ -205,8 +208,15 @@ pub fn summa<C: Comm>(
             bv,
             cw.mat_mut(),
             false,
-            &format!("summa step {step}"),
+            &label,
         );
+        comm.recorder().count_task();
+        if traced {
+            let t1 = comm.now();
+            comm.recorder().span(TraceKind::Task, t_task, t1, 0, || {
+                format!("summa step {step}")
+            });
+        }
     }
 
     drop(cw);

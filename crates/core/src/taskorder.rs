@@ -16,9 +16,9 @@
 //!    shared memory to the front, so computation starts immediately
 //!    while the nonblocking gets for remote tasks fill the pipeline.
 
-use srumma_comm::dist::chunk_start;
 #[cfg(test)]
 use srumma_comm::dist::chunk_len;
+use srumma_comm::dist::chunk_start;
 
 /// One k-segment task.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,7 +59,13 @@ impl Task {
 /// Invariants (property-tested): segments tile `0..k` exactly; each
 /// segment lies inside exactly one A panel and one B panel.
 pub fn build_tasks(k: usize, aparts: usize, bparts: usize) -> Vec<Task> {
-    assert!(k > 0 && aparts > 0 && bparts > 0);
+    assert!(aparts > 0 && bparts > 0);
+    if k == 0 {
+        // Empty inner dimension: the product contributes nothing, so
+        // there is no work — `C ← β·C` is handled by the caller's beta
+        // pre-pass.
+        return Vec::new();
+    }
     // Gather all panel boundaries from both partitions.
     let mut bounds: Vec<usize> = Vec::new();
     for i in 0..aparts {

@@ -99,7 +99,10 @@ fn summa_with_narrow_panels() {
     let machine = Machine::sgi_altix();
     let spec = GemmSpec::square(40);
     for nb in [1, 3, 8, 64] {
-        let alg = Algorithm::Summa(SummaOptions { panel_nb: Some(nb), ..Default::default() });
+        let alg = Algorithm::Summa(SummaOptions {
+            panel_nb: Some(nb),
+            ..Default::default()
+        });
         check_sim(&machine, 4, &alg, &spec, 61);
     }
 }

@@ -3,10 +3,10 @@
 //! empty-block regression fixed in `srumma-dense` (a rank whose C block
 //! is empty still sweeps A/B panels).
 
+use srumma_comm::Comm;
 use srumma_core::driver::{multiply_threads, multiply_verified, serial_reference};
 use srumma_core::{Algorithm, GemmSpec};
 use srumma_dense::{max_abs_diff, Matrix, Op};
-use srumma_comm::Comm;
 use srumma_model::Machine;
 
 fn check_threads(m: usize, n: usize, k: usize, nranks: usize) {
@@ -53,6 +53,23 @@ fn everything_tiny() {
 }
 
 #[test]
+fn k_zero_is_a_scaled_copy_of_c() {
+    // k = 0: the product contributes nothing; C ← β·C must still work
+    // through the whole distributed machinery (empty A/B panels, no
+    // kernel calls) on both backends.
+    check_threads(6, 5, 0, 4);
+    let machine = Machine::linux_myrinet();
+    let spec = GemmSpec::new(Op::N, Op::N, 6, 5, 0);
+    let a = Matrix::random(6, 0, 5);
+    let b = Matrix::random(0, 5, 6);
+    let expect = serial_reference(&spec, &a, &b);
+    for alg in [Algorithm::srumma_default(), Algorithm::summa_default()] {
+        let (c, _) = multiply_verified(&machine, 4, &alg, &spec, &a, &b);
+        assert!(max_abs_diff(&c, &expect) < 1e-9, "{} k=0", alg.name());
+    }
+}
+
+#[test]
 fn degenerate_shapes_under_the_simulator() {
     let machine = Machine::linux_myrinet();
     for (m, n, k) in [(1, 12, 12), (12, 1, 12), (12, 12, 1), (3, 3, 17)] {
@@ -60,9 +77,14 @@ fn degenerate_shapes_under_the_simulator() {
         let a = Matrix::random(m, k, 1);
         let b = Matrix::random(k, n, 2);
         let expect = serial_reference(&spec, &a, &b);
-        let (c, _) =
-            multiply_verified(&machine, 8, &Algorithm::srumma_default(), &spec, &a, &b);
-        assert!(max_abs_diff(&c, &expect) < 1e-9, "{m}x{n}x{k}");
+        for alg in [Algorithm::srumma_default(), Algorithm::summa_default()] {
+            let (c, _) = multiply_verified(&machine, 8, &alg, &spec, &a, &b);
+            assert!(
+                max_abs_diff(&c, &expect) < 1e-9,
+                "{} {m}x{n}x{k}",
+                alg.name()
+            );
+        }
     }
 }
 

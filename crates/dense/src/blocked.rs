@@ -67,18 +67,7 @@ pub fn blocked_gemm(
             while ic < m {
                 let mc = MC.min(m - ic);
                 pack_a(transa, a, ic, lc, mc, kc, &mut apack);
-                macro_kernel(
-                    mc,
-                    nc,
-                    kc,
-                    alpha,
-                    &apack,
-                    &bpack,
-                    &mut c,
-                    ic,
-                    jc,
-                    ldc,
-                );
+                macro_kernel(mc, nc, kc, alpha, &apack, &bpack, &mut c, ic, jc, ldc);
                 ic += MC;
             }
             lc += KC;
@@ -218,15 +207,7 @@ mod tests {
         let mut expect = Matrix::zeros(m, n);
         naive_gemm(Op::N, Op::N, 1.0, a, b, 0.0, expect.as_mut());
 
-        blocked_gemm(
-            Op::N,
-            Op::N,
-            1.0,
-            a,
-            b,
-            0.0,
-            big_c.block_mut(20, 20, m, n),
-        );
+        blocked_gemm(Op::N, Op::N, 1.0, a, b, 0.0, big_c.block_mut(20, 20, m, n));
         assert_close(&big_c.block(20, 20, m, n).to_matrix(), &expect, 1e-12);
         // Outside the target block must stay zero.
         assert_eq!(big_c[(0, 0)], 0.0);

@@ -18,10 +18,8 @@
 //! half-lengths are per-machine (vector machines like the Cray X1 have a
 //! much larger `n½` than the Itanium/Xeon).
 
-use serde::{Deserialize, Serialize};
-
 /// Efficiency surface for a serial dgemm on one processor.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EffModel {
     /// Asymptotic fraction of peak achieved for huge matrices (e.g. 0.9).
     pub asymptote: f64,

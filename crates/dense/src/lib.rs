@@ -42,9 +42,11 @@ pub mod kernel;
 pub mod matrix;
 pub mod naive;
 pub mod pack;
+pub mod rng;
 pub mod verify;
 
 pub use effmodel::EffModel;
 pub use gemm::{dgemm, dgemm_into, Op};
 pub use matrix::{MatMut, MatRef, Matrix};
+pub use rng::Rng;
 pub use verify::{assert_close, max_abs_diff, rel_fro_error};

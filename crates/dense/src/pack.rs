@@ -18,7 +18,15 @@ use crate::matrix::MatRef;
 /// `k`-major (`buf[sliver][k * MR + r]`), which is exactly the order the
 /// micro-kernel consumes. `buf.len()` must be at least
 /// `ceil(mc / MR) * MR * kc`.
-pub fn pack_a(transa: Op, a: MatRef<'_>, i0: usize, l0: usize, mc: usize, kc: usize, buf: &mut [f64]) {
+pub fn pack_a(
+    transa: Op,
+    a: MatRef<'_>,
+    i0: usize,
+    l0: usize,
+    mc: usize,
+    kc: usize,
+    buf: &mut [f64],
+) {
     let slivers = mc.div_ceil(MR);
     debug_assert!(buf.len() >= slivers * MR * kc);
     for s in 0..slivers {
@@ -58,7 +66,15 @@ pub fn pack_a(transa: Op, a: MatRef<'_>, i0: usize, l0: usize, mc: usize, kc: us
 /// Layout: slivers of `NR` columns; within a sliver, element order is
 /// `k`-major (`buf[sliver][k * NR + c]`). `buf.len()` must be at least
 /// `ceil(nc / NR) * NR * kc`.
-pub fn pack_b(transb: Op, b: MatRef<'_>, l0: usize, j0: usize, kc: usize, nc: usize, buf: &mut [f64]) {
+pub fn pack_b(
+    transb: Op,
+    b: MatRef<'_>,
+    l0: usize,
+    j0: usize,
+    kc: usize,
+    nc: usize,
+    buf: &mut [f64],
+) {
     let slivers = nc.div_ceil(NR);
     debug_assert!(buf.len() >= slivers * NR * kc);
     for s in 0..slivers {

@@ -1,32 +1,46 @@
-//! Property-based tests for the blocked gemm against the naive oracle.
+//! Property-style tests for the blocked gemm against the naive oracle.
+//!
+//! Cases are generated from the in-repo deterministic [`Rng`] (the
+//! workspace builds offline, without a property-testing framework).
+//! Every assertion message carries the case seed so a failure is
+//! reproducible by construction.
 
-use proptest::prelude::*;
 use srumma_dense::gemm::gemm_flops;
 use srumma_dense::naive::naive_gemm;
-use srumma_dense::{dgemm, EffModel, Matrix, Op};
+use srumma_dense::{dgemm, EffModel, Matrix, Op, Rng};
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![Just(Op::N), Just(Op::T)]
+const CASES: u64 = 64;
+
+fn random_op(rng: &mut Rng) -> Op {
+    if rng.chance(0.5) {
+        Op::N
+    } else {
+        Op::T
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Blocked gemm agrees with the naive oracle for arbitrary shapes,
+/// transposes and scalars.
+#[test]
+fn blocked_matches_naive() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xD15E_A5E0 + case);
+        let m = rng.range(1, 95);
+        let n = rng.range(1, 95);
+        let k = rng.range(1, 95);
+        let (ta, tb) = (random_op(&mut rng), random_op(&mut rng));
+        let alpha = rng.unit() * 2.0;
+        let beta = rng.unit() * 2.0;
+        let seed = rng.next_u64() % 1000;
 
-    /// Blocked gemm agrees with the naive oracle for arbitrary shapes,
-    /// transposes and scalars.
-    #[test]
-    fn blocked_matches_naive(
-        m in 1usize..96,
-        n in 1usize..96,
-        k in 1usize..96,
-        ta in op_strategy(),
-        tb in op_strategy(),
-        alpha in -2.0f64..2.0,
-        beta in -2.0f64..2.0,
-        seed in 0u64..1000,
-    ) {
-        let (ar, ac) = match ta { Op::N => (m, k), Op::T => (k, m) };
-        let (br, bc) = match tb { Op::N => (k, n), Op::T => (n, k) };
+        let (ar, ac) = match ta {
+            Op::N => (m, k),
+            Op::T => (k, m),
+        };
+        let (br, bc) = match tb {
+            Op::N => (k, n),
+            Op::T => (n, k),
+        };
         let a = Matrix::random(ar, ac, seed);
         let b = Matrix::random(br, bc, seed + 1);
         let c0 = Matrix::random(m, n, seed + 2);
@@ -37,19 +51,22 @@ proptest! {
         dgemm(ta, tb, alpha, a.as_ref(), b.as_ref(), beta, got.as_mut());
 
         let err = srumma_dense::max_abs_diff(&got, &expect);
-        prop_assert!(err < 1e-9, "err = {err}");
+        assert!(err < 1e-9, "case {case}: err = {err} ({m}x{n}x{k})");
     }
+}
 
-    /// gemm on sub-block views equals gemm on copied-out blocks.
-    #[test]
-    fn views_equal_copies(
-        m in 1usize..32,
-        n in 1usize..32,
-        k in 1usize..32,
-        r0 in 0usize..8,
-        c0 in 0usize..8,
-        seed in 0u64..1000,
-    ) {
+/// gemm on sub-block views equals gemm on copied-out blocks.
+#[test]
+fn views_equal_copies() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xB10C_C0DE + case);
+        let m = rng.range(1, 31);
+        let n = rng.range(1, 31);
+        let k = rng.range(1, 31);
+        let r0 = rng.below(8);
+        let c0 = rng.below(8);
+        let seed = rng.next_u64() % 1000;
+
         let big_a = Matrix::random(m + r0 + 4, k + c0 + 4, seed);
         let big_b = Matrix::random(k + r0 + 4, n + c0 + 4, seed + 1);
         let av = big_a.block(r0, c0, m, k);
@@ -60,18 +77,29 @@ proptest! {
         let mut from_views = Matrix::zeros(m, n);
         dgemm(Op::N, Op::N, 1.0, av, bv, 0.0, from_views.as_mut());
         let mut from_copies = Matrix::zeros(m, n);
-        dgemm(Op::N, Op::N, 1.0, ac.as_ref(), bc.as_ref(), 0.0, from_copies.as_mut());
-        prop_assert_eq!(from_views, from_copies);
+        dgemm(
+            Op::N,
+            Op::N,
+            1.0,
+            ac.as_ref(),
+            bc.as_ref(),
+            0.0,
+            from_copies.as_mut(),
+        );
+        assert_eq!(from_views, from_copies, "case {case} ({m}x{n}x{k})");
     }
+}
 
-    /// (A·B)ᵀ = Bᵀ·Aᵀ — an algebraic identity the kernel must respect.
-    #[test]
-    fn transpose_product_identity(
-        m in 1usize..24,
-        n in 1usize..24,
-        k in 1usize..24,
-        seed in 0u64..1000,
-    ) {
+/// (A·B)ᵀ = Bᵀ·Aᵀ — an algebraic identity the kernel must respect.
+#[test]
+fn transpose_product_identity() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x7A11_5EED + case);
+        let m = rng.range(1, 23);
+        let n = rng.range(1, 23);
+        let k = rng.range(1, 23);
+        let seed = rng.next_u64() % 1000;
+
         let a = Matrix::random(m, k, seed);
         let b = Matrix::random(k, n, seed + 1);
 
@@ -80,32 +108,55 @@ proptest! {
 
         // Bᵀ·Aᵀ computed via transpose flags on the stored (untouched) A, B.
         let mut btat = Matrix::zeros(n, m);
-        dgemm(Op::T, Op::T, 1.0, b.as_ref(), a.as_ref(), 0.0, btat.as_mut());
+        dgemm(
+            Op::T,
+            Op::T,
+            1.0,
+            b.as_ref(),
+            a.as_ref(),
+            0.0,
+            btat.as_mut(),
+        );
 
         let err = srumma_dense::max_abs_diff(&ab.transposed(), &btat);
-        prop_assert!(err < 1e-10, "err = {err}");
+        assert!(err < 1e-10, "case {case}: err = {err}");
     }
+}
 
-    /// Efficiency model invariants: bounded, positive, monotone under
-    /// scaling all dimensions up.
-    #[test]
-    fn effmodel_invariants(
-        m in 1usize..4096,
-        n in 1usize..4096,
-        k in 1usize..4096,
-    ) {
+/// Efficiency model invariants: bounded, positive, monotone under
+/// scaling all dimensions up.
+#[test]
+fn effmodel_invariants() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xEFF0_0001 + case);
+        let m = rng.range(1, 4095);
+        let n = rng.range(1, 4095);
+        let k = rng.range(1, 4095);
         for model in [EffModel::microprocessor(), EffModel::vector()] {
             let e = model.eff(m, n, k);
-            prop_assert!(e > 0.0 && e <= model.asymptote);
+            assert!(
+                e > 0.0 && e <= model.asymptote,
+                "case {case}: eff({m},{n},{k}) = {e}"
+            );
             let e2 = model.eff(m * 2, n * 2, k * 2);
-            prop_assert!(e2 >= e);
+            assert!(e2 >= e, "case {case}: eff not monotone at ({m},{n},{k})");
         }
     }
+}
 
-    /// flop count is symmetric in m and n and linear in k.
-    #[test]
-    fn flops_properties(m in 0usize..1000, n in 0usize..1000, k in 0usize..1000) {
-        prop_assert_eq!(gemm_flops(m, n, k), gemm_flops(n, m, k));
-        prop_assert_eq!(gemm_flops(m, n, 2 * k), 2 * gemm_flops(m, n, k));
+/// flop count is symmetric in m and n and linear in k.
+#[test]
+fn flops_properties() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xF10B_5000 + case);
+        let m = rng.below(1000);
+        let n = rng.below(1000);
+        let k = rng.below(1000);
+        assert_eq!(gemm_flops(m, n, k), gemm_flops(n, m, k), "case {case}");
+        assert_eq!(
+            gemm_flops(m, n, 2 * k),
+            2 * gemm_flops(m, n, k),
+            "case {case}"
+        );
     }
 }

@@ -64,7 +64,11 @@ mod tests {
         // Real MPI bandwidth curves dip once at the eager→rendezvous
         // switch (the handshake latency kicks in); within each regime
         // the curve must rise with message size.
-        for m in [Machine::linux_myrinet(), Machine::ibm_sp(), Machine::cray_x1()] {
+        for m in [
+            Machine::linux_myrinet(),
+            Machine::ibm_sp(),
+            Machine::cray_x1(),
+        ] {
             for proto in [Protocol::ArmciGet, Protocol::MpiSendRecv] {
                 let curve = bandwidth_curve(&m, proto, true);
                 for w in curve.windows(2) {
@@ -112,7 +116,7 @@ mod tests {
     }
 
     #[test]
-    fn x1_shm_dominates_mpi_everywhere_beyond_small(){
+    fn x1_shm_dominates_mpi_everywhere_beyond_small() {
         let m = Machine::cray_x1();
         for bytes in [4096, 1 << 16, 1 << 20, 4 << 20] {
             assert!(

@@ -12,11 +12,10 @@
 //! answer "what N keeps efficiency at η when P grows?".
 
 use crate::machine::Machine;
-use serde::{Deserialize, Serialize};
 
 /// The model's primitive parameters (the paper's `t_w`, `t_s`, and the
 /// flop time the paper normalizes to 1).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EqModel {
     /// Data transfer time per *element* (s) — `t_w`.
     pub tw: f64,
@@ -37,8 +36,7 @@ impl EqModel {
         EqModel {
             tw: 8.0 / m.net.rma_bandwidth,
             ts: 2.0 * m.net.rma_latency,
-            tc: 2.0
-                / (m.cpu.peak_flops * m.cpu.eff.eff(block, block, block)),
+            tc: 2.0 / (m.cpu.peak_flops * m.cpu.eff.eff(block, block, block)),
         }
     }
 

@@ -9,11 +9,10 @@
 
 use crate::network::{CpuParams, NetParams, ShmParams};
 use crate::topology::Topology;
-use serde::{Deserialize, Serialize};
 use srumma_dense::EffModel;
 
 /// Identifies one of the paper's evaluation platforms.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Platform {
     /// Dual 2.4-GHz Xeon nodes, Myrinet-2000 (GM), zero-copy RMA.
     LinuxMyrinet,
@@ -47,7 +46,7 @@ impl Platform {
 
 /// A complete machine description: compute, network, shared memory and
 /// rank placement.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Machine {
     /// Which platform this profile models (custom profiles reuse the
     /// closest platform tag).
@@ -64,7 +63,7 @@ pub struct Machine {
 }
 
 /// How the shared-memory domain scales with the launched rank count.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RanksPerDomain {
     /// Fixed node width (clusters): 2 for the Xeon boxes, 16 for the SP.
     Fixed(usize),
@@ -337,7 +336,10 @@ mod tests {
 
     #[test]
     fn zero_copy_flags_match_paper() {
-        assert!(Machine::linux_myrinet().net.zero_copy, "Myrinet GM is zero-copy");
+        assert!(
+            Machine::linux_myrinet().net.zero_copy,
+            "Myrinet GM is zero-copy"
+        );
         assert!(!Machine::ibm_sp().net.zero_copy, "LAPI is not zero-copy");
     }
 
@@ -379,8 +381,7 @@ mod tests {
 
     #[test]
     fn platform_names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            Platform::ALL.iter().map(|p| p.name()).collect();
+        let names: std::collections::HashSet<_> = Platform::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), 4);
     }
 }

@@ -6,10 +6,8 @@
 //! discrete-event simulator schedules these occupancies on FIFO
 //! resources; the analytic figures sum them directly.
 
-use serde::{Deserialize, Serialize};
-
 /// Inter-node network parameters (the RMA/MPI path through the NIC).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NetParams {
     /// One-way small-message latency of the native RMA protocol (s).
     /// A *get* pays this twice (request + reply), which is why the paper
@@ -64,7 +62,7 @@ pub struct NetParams {
 }
 
 /// Shared-memory (intra-domain) parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ShmParams {
     /// Latency to initiate an intra-domain block copy (s): essentially a
     /// couple of cache misses plus address arithmetic.
@@ -95,7 +93,7 @@ pub struct ShmParams {
 }
 
 /// Per-processor compute parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CpuParams {
     /// Peak double-precision FLOP/s of one processor.
     pub peak_flops: f64,
@@ -111,7 +109,7 @@ impl CpuParams {
 }
 
 /// Where the bytes of a transfer flow, for resource accounting.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Path {
     /// Within one shared-memory domain: consumes memory bandwidth of
     /// the groups involved, no NIC. (The default for zero-value costs.)
@@ -129,7 +127,7 @@ pub enum Path {
 ///
 /// All times in seconds for the *uncontended* case; the simulator
 /// stretches occupancies when resources are shared.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct TransferCost {
     /// Pure pipeline latency: delays completion, occupies nothing.
     pub latency: f64,

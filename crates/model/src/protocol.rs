@@ -14,10 +14,9 @@
 
 use crate::machine::Machine;
 use crate::network::{Path, TransferCost};
-use serde::{Deserialize, Serialize};
 
 /// The protocols the paper measures against each other.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// ARMCI one-sided get (request + streamed reply).
     ArmciGet,

@@ -6,15 +6,13 @@
 //! nonblocking RMA). [`Topology`] answers that query — it is the model
 //! counterpart of ARMCI's cluster-configuration query interface.
 
-use serde::{Deserialize, Serialize};
-
 /// Placement of ranks onto shared-memory domains ("nodes").
 ///
 /// Ranks are numbered `0..nranks` and packed onto nodes in order:
 /// node 0 holds ranks `0..ranks_per_node`, node 1 the next batch, and so
 /// on — matching how MPI launchers filled SMP clusters in the paper's
 /// era (block placement).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Topology {
     nranks: usize,
     ranks_per_node: usize,
@@ -86,7 +84,7 @@ impl Topology {
 
 /// A `p × q` logical process grid over `p·q` ranks, row-major:
 /// rank `r` sits at `(r / q, r % q)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ProcGrid {
     /// Grid rows.
     pub p: usize,

@@ -27,11 +27,11 @@
 use crate::resource::{acquire_joint, Resource};
 use crate::stats::RankStats;
 use crate::trace::{TraceEvent, TraceKind};
-use parking_lot::{Condvar, Mutex};
 use srumma_model::network::Path;
 use srumma_model::{Topology, TransferCost};
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Identifier of an issued transfer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -219,6 +219,14 @@ impl Kernel {
         &self.cfg
     }
 
+    /// Lock the kernel state, tolerating mutex poisoning: when a rank
+    /// thread panics (e.g. the deadlock detector fires) the remaining
+    /// threads must still be able to observe the `poisoned` flag and
+    /// unwind instead of aborting on `PoisonError`.
+    fn lock(&self) -> MutexGuard<'_, KState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     pub fn nranks(&self) -> usize {
         self.cfg.topology.nranks()
     }
@@ -278,30 +286,38 @@ impl Kernel {
         }
     }
 
-    /// Give up the baton and wait until it is handed back.
-    fn wait_for_baton(&self, st: &mut parking_lot::MutexGuard<'_, KState>, rank: usize) {
+    /// Give up the baton and wait until it is handed back. `std`'s
+    /// `Condvar::wait` consumes the guard, so the guard travels by
+    /// value and is handed back to the caller.
+    fn wait_for_baton<'a>(
+        &self,
+        mut st: MutexGuard<'a, KState>,
+        rank: usize,
+    ) -> MutexGuard<'a, KState> {
         while st.ranks[rank].status != Status::Running {
             if st.poisoned {
                 panic!("simulation deadlock (rank {rank} woken by poison)");
             }
-            self.cvars[rank].wait(st);
+            st = self.cvars[rank].wait(st).unwrap_or_else(|e| e.into_inner());
         }
+        st
     }
 
     /// Ensure no runnable rank is behind this one in virtual time; if
     /// one is, yield the baton until it is this rank's turn again.
-    fn sync_turn(&self, st: &mut parking_lot::MutexGuard<'_, KState>, rank: usize) {
+    fn sync_turn<'a>(&self, mut st: MutexGuard<'a, KState>, rank: usize) -> MutexGuard<'a, KState> {
         loop {
             let my_key = (st.ranks[rank].clock, rank);
-            let earlier = st.ranks.iter().enumerate().any(|(i, r)| {
-                i != rank && r.status == Status::Runnable && (r.clock, i) < my_key
-            });
+            let earlier =
+                st.ranks.iter().enumerate().any(|(i, r)| {
+                    i != rank && r.status == Status::Runnable && (r.clock, i) < my_key
+                });
             if !earlier {
-                return;
+                return st;
             }
             st.ranks[rank].status = Status::Runnable;
-            self.dispatch(st);
-            self.wait_for_baton(st, rank);
+            self.dispatch(&mut st);
+            st = self.wait_for_baton(st, rank);
         }
     }
 
@@ -311,19 +327,19 @@ impl Kernel {
     /// scheduler's view of the world is incomplete (which would break
     /// the deterministic virtual-time ordering).
     pub fn start(&self, rank: usize) {
-        let mut st = self.state.lock();
+        let mut st = self.lock();
         st.ranks[rank].status = Status::Runnable;
         st.registered += 1;
         if st.registered == st.ranks.len() {
             self.dispatch(&mut st);
         }
-        self.wait_for_baton(&mut st, rank);
+        let _st = self.wait_for_baton(st, rank);
     }
 
     /// Called when the rank's closure returns.
     pub fn finish(&self, rank: usize) {
-        let mut st = self.state.lock();
-        self.sync_turn(&mut st, rank);
+        let st = self.lock();
+        let mut st = self.sync_turn(st, rank);
         st.ranks[rank].status = Status::Done;
         self.dispatch(&mut st);
     }
@@ -332,7 +348,7 @@ impl Kernel {
 
     /// Current virtual time of `rank`.
     pub fn now(&self, rank: usize) -> f64 {
-        self.state.lock().ranks[rank].clock
+        self.lock().ranks[rank].clock
     }
 
     /// Charge `dt` seconds of CPU work to `rank` (optionally counted as
@@ -340,8 +356,8 @@ impl Kernel {
     /// remote non-zero-copy operations.
     pub fn advance(&self, rank: usize, dt: f64, compute: bool, label: &str) {
         assert!(dt >= 0.0 && dt.is_finite(), "bad advance dt={dt}");
-        let mut st = self.state.lock();
-        self.sync_turn(&mut st, rank);
+        let st = self.lock();
+        let mut st = self.sync_turn(st, rank);
         let r = &mut st.ranks[rank];
         // `cpu_free_at` may be ahead of the clock when a remote
         // non-zero-copy operation stole CPU time from this rank (theft
@@ -360,6 +376,7 @@ impl Kernel {
                 t1: end,
                 kind: TraceKind::Compute,
                 label: label.to_string(),
+                bytes: 0,
             });
         }
     }
@@ -368,8 +385,8 @@ impl Kernel {
     /// completion time is already fixed; [`Kernel::wait_transfer`]
     /// advances the clock to it.
     pub fn issue_transfer(&self, rank: usize, spec: TransferSpec) -> TransferId {
-        let mut st = self.state.lock();
-        self.sync_turn(&mut st, rank);
+        let st = self.lock();
+        let mut st = self.sync_turn(st, rank);
         let topo = self.cfg.topology;
         let c = spec.cost;
         let now = st.ranks[rank].clock;
@@ -467,6 +484,7 @@ impl Kernel {
                 t1: done_at,
                 kind: TraceKind::Transfer,
                 label: spec.label,
+                bytes: spec.bytes,
             });
         }
         st.transfers.push(Transfer { done_at });
@@ -476,8 +494,8 @@ impl Kernel {
     /// Block (in virtual time) until the transfer completes; accounts
     /// the incurred wait.
     pub fn wait_transfer(&self, rank: usize, id: TransferId) {
-        let mut st = self.state.lock();
-        self.sync_turn(&mut st, rank);
+        let st = self.lock();
+        let mut st = self.sync_turn(st, rank);
         let done_at = st.transfers[id.0].done_at;
         let r = &mut st.ranks[rank];
         if done_at > r.clock {
@@ -491,6 +509,7 @@ impl Kernel {
                     t1: done_at,
                     kind: TraceKind::Wait,
                     label: String::new(),
+                    bytes: 0,
                 });
             }
             let r = &mut st.ranks[rank];
@@ -502,14 +521,14 @@ impl Kernel {
     /// Completion time of an issued transfer (virtual seconds). The
     /// value is exact — see the module docs.
     pub fn transfer_done_at(&self, id: TransferId) -> f64 {
-        self.state.lock().transfers[id.0].done_at
+        self.lock().transfers[id.0].done_at
     }
 
     /// Deposit a message for `(src=rank_of_sender → dst)` with the given
     /// availability time; wakes a waiting receiver.
     pub fn post_msg(&self, rank: usize, dst: usize, tag: u64, msg: Msg) {
-        let mut st = self.state.lock();
-        self.sync_turn(&mut st, rank);
+        let st = self.lock();
+        let mut st = self.sync_turn(st, rank);
         st.ranks[rank].stats.messages += 1;
         let key: MsgKey = (rank, dst, tag);
         st.mailbox.entry(key).or_default().push_back(msg);
@@ -523,10 +542,10 @@ impl Kernel {
     /// Receive the next message from `src` with `tag`; blocks (in both
     /// virtual and host time) until one is available.
     pub fn recv_msg(&self, rank: usize, src: usize, tag: u64) -> Msg {
-        let mut st = self.state.lock();
+        let mut st = self.lock();
         let key: MsgKey = (src, rank, tag);
         loop {
-            self.sync_turn(&mut st, rank);
+            st = self.sync_turn(st, rank);
             if let Some(queue) = st.mailbox.get_mut(&key) {
                 if let Some(msg) = queue.pop_front() {
                     if queue.is_empty() {
@@ -548,7 +567,7 @@ impl Kernel {
             );
             st.ranks[rank].status = Status::Blocked(BlockReason::Recv);
             self.dispatch(&mut st);
-            self.wait_for_baton(&mut st, rank);
+            st = self.wait_for_baton(st, rank);
         }
     }
 
@@ -556,8 +575,8 @@ impl Kernel {
     /// time `max(clock_a, clock_b)`, with their clocks advanced to it.
     /// Used by the MPI layer's rendezvous protocol.
     pub fn pair_sync(&self, rank: usize, key: u64) -> f64 {
-        let mut st = self.state.lock();
-        self.sync_turn(&mut st, rank);
+        let st = self.lock();
+        let mut st = self.sync_turn(st, rank);
         if let Some((peer, peer_clock)) = st.pair_gate.remove(&key) {
             let t = st.ranks[rank].clock.max(peer_clock);
             // Wake the first arriver with the result stashed for it.
@@ -576,7 +595,7 @@ impl Kernel {
         st.pair_gate.insert(key, (rank, my_clock));
         st.ranks[rank].status = Status::Blocked(BlockReason::Pair);
         self.dispatch(&mut st);
-        self.wait_for_baton(&mut st, rank);
+        let mut st = self.wait_for_baton(st, rank);
         st.pair_result
             .remove(&(key, rank))
             .expect("pair_sync woken without a result")
@@ -585,8 +604,8 @@ impl Kernel {
     /// Full barrier over all ranks. Releases everyone at
     /// `max(arrival clocks) + barrier_latency`.
     pub fn barrier(&self, rank: usize) {
-        let mut st = self.state.lock();
-        self.sync_turn(&mut st, rank);
+        let st = self.lock();
+        let mut st = self.sync_turn(st, rank);
         let my_clock = st.ranks[rank].clock;
         let n = st.ranks.len();
         st.barrier.arrived += 1;
@@ -612,7 +631,7 @@ impl Kernel {
             st.barrier.waiting.push(rank);
             st.ranks[rank].status = Status::Blocked(BlockReason::Barrier);
             self.dispatch(&mut st);
-            self.wait_for_baton(&mut st, rank);
+            let _st = self.wait_for_baton(st, rank);
         }
     }
 
@@ -620,7 +639,7 @@ impl Kernel {
 
     /// Final clocks and statistics; call after all ranks finished.
     pub fn collect(&self) -> (Vec<f64>, Vec<RankStats>, Vec<TraceEvent>) {
-        let mut st = self.state.lock();
+        let mut st = self.lock();
         assert!(
             st.ranks.iter().all(|r| r.status == Status::Done),
             "collect() before all ranks finished"

@@ -51,10 +51,7 @@ impl Resource {
 /// starts when all of them are free and marks all of them busy to its
 /// end.
 pub fn acquire_joint(resources: &mut [&mut Resource], now: f64, dur: f64) -> (f64, f64) {
-    let start = resources
-        .iter()
-        .map(|r| r.busy_until)
-        .fold(now, f64::max);
+    let start = resources.iter().map(|r| r.busy_until).fold(now, f64::max);
     let end = start + dur;
     for r in resources.iter_mut() {
         r.busy_until = end;

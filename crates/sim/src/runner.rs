@@ -56,8 +56,7 @@ where
                 // If the body panics we must still release the baton,
                 // or every other rank thread hangs and the panic never
                 // surfaces. Catch, mark the rank done, re-raise later.
-                let result =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&proc)));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&proc)));
                 kernel.finish(rank);
                 match result {
                     Ok(v) => {

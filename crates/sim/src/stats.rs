@@ -1,146 +1,8 @@
 //! Per-rank and aggregate execution statistics.
 //!
-//! The paper reports not just GFLOP/s but *why*: how much communication
-//! was overlapped (">90 % on the Linux cluster"), how much moved through
-//! shared memory vs the network. These counters let every harness print
-//! the same diagnostics.
+//! The counter types are shared with the thread backend and live in
+//! `srumma-trace`; this module re-exports them so existing
+//! `srumma_sim::stats::...` paths keep working. Under the simulator all
+//! times are *virtual* seconds.
 
-use serde::{Deserialize, Serialize};
-
-/// Counters accumulated for one rank during a simulation.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
-pub struct RankStats {
-    /// Virtual seconds spent in modeled/real computation (`charge_compute`).
-    pub compute_time: f64,
-    /// Virtual seconds the rank was blocked waiting for transfers,
-    /// messages, or pair synchronizations.
-    pub wait_time: f64,
-    /// Virtual seconds spent at barriers (arrival → release).
-    pub barrier_time: f64,
-    /// Virtual seconds charged for issuing/driving communication
-    /// (initiator-busy portions).
-    pub comm_busy_time: f64,
-    /// Bytes fetched through inter-domain RMA.
-    pub bytes_network: u64,
-    /// Bytes copied within a shared-memory domain.
-    pub bytes_shm: u64,
-    /// Number of transfers issued.
-    pub transfers: u64,
-    /// Number of point-to-point messages sent.
-    pub messages: u64,
-    /// Sum over async transfers of their in-flight duration
-    /// (issue→completion). Together with `wait_time` this yields the
-    /// achieved overlap fraction.
-    pub inflight_time: f64,
-    /// Virtual seconds of CPU time stolen from this rank by remote,
-    /// non-zero-copy RMA operations.
-    pub stolen_cpu_time: f64,
-}
-
-impl RankStats {
-    /// Fraction of communication in-flight time hidden behind local
-    /// work: `1 − wait/inflight`, clamped to `[0, 1]`. Returns `None`
-    /// if this rank issued no asynchronous communication.
-    pub fn overlap_fraction(&self) -> Option<f64> {
-        if self.inflight_time <= 0.0 {
-            return None;
-        }
-        Some((1.0 - self.wait_time / self.inflight_time).clamp(0.0, 1.0))
-    }
-}
-
-/// Aggregated result of a whole run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
-pub struct RunStats {
-    /// Per-rank counters.
-    pub ranks: Vec<RankStats>,
-    /// Final virtual time of each rank.
-    pub final_times: Vec<f64>,
-    /// Maximum final virtual time — the run's virtual wall clock.
-    pub makespan: f64,
-}
-
-impl RunStats {
-    /// Total bytes over the network across ranks.
-    pub fn total_network_bytes(&self) -> u64 {
-        self.ranks.iter().map(|r| r.bytes_network).sum()
-    }
-
-    /// Total bytes through shared memory across ranks.
-    pub fn total_shm_bytes(&self) -> u64 {
-        self.ranks.iter().map(|r| r.bytes_shm).sum()
-    }
-
-    /// Mean achieved overlap across ranks that communicated
-    /// asynchronously.
-    pub fn mean_overlap(&self) -> Option<f64> {
-        let vals: Vec<f64> = self
-            .ranks
-            .iter()
-            .filter_map(|r| r.overlap_fraction())
-            .collect();
-        if vals.is_empty() {
-            None
-        } else {
-            Some(vals.iter().sum::<f64>() / vals.len() as f64)
-        }
-    }
-
-    /// GFLOP/s achieved for a problem of `flops` floating point
-    /// operations: `flops / makespan / 1e9`.
-    pub fn gflops(&self, flops: f64) -> f64 {
-        if self.makespan <= 0.0 {
-            return 0.0;
-        }
-        flops / self.makespan / 1e9
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn overlap_fraction_cases() {
-        let mut s = RankStats::default();
-        assert_eq!(s.overlap_fraction(), None);
-        s.inflight_time = 10.0;
-        s.wait_time = 1.0;
-        assert!((s.overlap_fraction().unwrap() - 0.9).abs() < 1e-12);
-        s.wait_time = 20.0; // waited longer than inflight (barrier mix)
-        assert_eq!(s.overlap_fraction().unwrap(), 0.0);
-    }
-
-    #[test]
-    fn run_stats_aggregation() {
-        let rs = RunStats {
-            ranks: vec![
-                RankStats {
-                    bytes_network: 100,
-                    bytes_shm: 5,
-                    inflight_time: 1.0,
-                    wait_time: 0.0,
-                    ..Default::default()
-                },
-                RankStats {
-                    bytes_network: 50,
-                    bytes_shm: 10,
-                    ..Default::default()
-                },
-            ],
-            final_times: vec![2.0, 3.0],
-            makespan: 3.0,
-        };
-        assert_eq!(rs.total_network_bytes(), 150);
-        assert_eq!(rs.total_shm_bytes(), 15);
-        // Only rank 0 communicated asynchronously.
-        assert_eq!(rs.mean_overlap(), Some(1.0));
-        assert!((rs.gflops(6e9) - 2.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn gflops_of_empty_run_is_zero() {
-        let rs = RunStats::default();
-        assert_eq!(rs.gflops(1e9), 0.0);
-    }
-}
+pub use srumma_trace::{RankStats, RunStats};

@@ -1,190 +1,13 @@
 //! Optional execution traces.
 //!
 //! When enabled in [`crate::kernel::SimConfig`], the kernel records one
-//! [`TraceEvent`] per interesting interval. The Figure 3 harness uses
-//! this to print the double-buffering pipeline (dgemm on buffer *B1*
-//! overlapping the nonblocking get into *B2*) exactly as the paper draws
-//! it.
+//! [`TraceEvent`] per interesting interval against the *virtual* clock.
+//! The Figure 3 harness uses this to print the double-buffering pipeline
+//! (dgemm on buffer *B1* overlapping the nonblocking get into *B2*)
+//! exactly as the paper draws it.
+//!
+//! The event and exporter types are shared with the thread backend and
+//! live in `srumma-trace`; this module re-exports them so existing
+//! `srumma_sim::trace::...` paths keep working.
 
-use serde::{Deserialize, Serialize};
-
-/// What kind of interval a trace entry describes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum TraceKind {
-    /// Local computation (`charge_compute`).
-    Compute,
-    /// An asynchronous transfer in flight (issue → completion).
-    Transfer,
-    /// Blocked waiting on a transfer or message.
-    Wait,
-    /// Barrier (arrival → release).
-    Barrier,
-}
-
-/// One traced interval on one rank's timeline.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct TraceEvent {
-    /// Which rank's timeline.
-    pub rank: usize,
-    /// Interval start (virtual seconds).
-    pub t0: f64,
-    /// Interval end (virtual seconds).
-    pub t1: f64,
-    /// Interval kind.
-    pub kind: TraceKind,
-    /// Free-form label supplied by the caller (e.g. "dgemm task 3",
-    /// "nbget A(1,2) from P5").
-    pub label: String,
-}
-
-/// Render a compact ASCII Gantt chart of a trace (used by examples and
-/// the Figure 3 harness). `width` is the number of character cells the
-/// full makespan maps to.
-pub fn ascii_gantt(events: &[TraceEvent], nranks: usize, width: usize) -> String {
-    let makespan = events.iter().map(|e| e.t1).fold(0.0, f64::max);
-    if makespan <= 0.0 || width == 0 {
-        return String::new();
-    }
-    let mut out = String::new();
-    for rank in 0..nranks {
-        let mut line = vec![' '; width];
-        for e in events.iter().filter(|e| e.rank == rank) {
-            let c = match e.kind {
-                TraceKind::Compute => '#',
-                TraceKind::Transfer => '-',
-                TraceKind::Wait => '.',
-                TraceKind::Barrier => '|',
-            };
-            let a = ((e.t0 / makespan) * width as f64).floor() as usize;
-            let b = (((e.t1 / makespan) * width as f64).ceil() as usize).min(width);
-            for cell in line.iter_mut().take(b).skip(a.min(width)) {
-                // Compute (owner of the CPU) wins over overlapping
-                // transfer marks so the pipeline picture stays readable.
-                if *cell == ' ' || (c == '#') {
-                    *cell = c;
-                }
-            }
-        }
-        out.push_str(&format!("P{rank:<3} "));
-        out.extend(line);
-        out.push('\n');
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn ev(rank: usize, t0: f64, t1: f64, kind: TraceKind) -> TraceEvent {
-        TraceEvent {
-            rank,
-            t0,
-            t1,
-            kind,
-            label: String::new(),
-        }
-    }
-
-    #[test]
-    fn gantt_renders_each_rank_line() {
-        let events = vec![
-            ev(0, 0.0, 1.0, TraceKind::Compute),
-            ev(1, 0.5, 1.0, TraceKind::Wait),
-        ];
-        let g = ascii_gantt(&events, 2, 20);
-        let lines: Vec<&str> = g.lines().collect();
-        assert_eq!(lines.len(), 2);
-        assert!(lines[0].contains('#'));
-        assert!(lines[1].contains('.'));
-    }
-
-    #[test]
-    fn compute_overrides_transfer_marks() {
-        let events = vec![
-            ev(0, 0.0, 1.0, TraceKind::Transfer),
-            ev(0, 0.0, 1.0, TraceKind::Compute),
-        ];
-        let g = ascii_gantt(&events, 1, 10);
-        assert!(g.contains('#'));
-        assert!(!g.contains('-'));
-    }
-
-    #[test]
-    fn empty_trace_renders_empty() {
-        assert_eq!(ascii_gantt(&[], 3, 40), "");
-    }
-}
-
-/// Export a trace as a Chrome/Perfetto trace-event JSON array
-/// (`chrome://tracing`, https://ui.perfetto.dev). Ranks map to thread
-/// ids; durations are emitted as complete (`"ph": "X"`) events with
-/// microsecond timestamps.
-pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
-    if events.is_empty() {
-        return "[]".to_string();
-    }
-    let mut out = String::from("[\n");
-    for (i, e) in events.iter().enumerate() {
-        let name = if e.label.is_empty() {
-            format!("{:?}", e.kind)
-        } else {
-            e.label.replace('"', "'")
-        };
-        let cat = match e.kind {
-            TraceKind::Compute => "compute",
-            TraceKind::Transfer => "comm",
-            TraceKind::Wait => "wait",
-            TraceKind::Barrier => "sync",
-        };
-        out.push_str(&format!(
-            "  {{\"name\": \"{name}\", \"cat\": \"{cat}\", \"ph\": \"X\", \
-             \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {}}}{}",
-            e.t0 * 1e6,
-            (e.t1 - e.t0) * 1e6,
-            e.rank,
-            if i + 1 == events.len() { "\n" } else { ",\n" }
-        ));
-    }
-    out.push(']');
-    out
-}
-
-#[cfg(test)]
-mod chrome_tests {
-    use super::*;
-
-    #[test]
-    fn chrome_trace_is_wellformed_json() {
-        let events = vec![
-            TraceEvent {
-                rank: 0,
-                t0: 0.0,
-                t1: 1e-3,
-                kind: TraceKind::Compute,
-                label: "dgemm \"quoted\"".into(),
-            },
-            TraceEvent {
-                rank: 1,
-                t0: 0.5e-3,
-                t1: 2e-3,
-                kind: TraceKind::Transfer,
-                label: String::new(),
-            },
-        ];
-        let json = chrome_trace_json(&events);
-        assert!(json.starts_with('['));
-        assert!(json.ends_with(']'));
-        // Quotes in labels must be neutralized.
-        assert!(!json.contains("\"quoted\""));
-        assert!(json.contains("\"tid\": 1"));
-        assert!(json.contains("\"cat\": \"comm\""));
-        // Two events, one comma between them.
-        assert_eq!(json.matches("\"ph\": \"X\"").count(), 2);
-    }
-
-    #[test]
-    fn empty_trace_is_empty_array() {
-        assert_eq!(chrome_trace_json(&[]), "[]");
-    }
-}
+pub use srumma_trace::{ascii_gantt, chrome_trace_json, TraceEvent, TraceKind};

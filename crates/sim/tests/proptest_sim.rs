@@ -1,10 +1,15 @@
-//! Property-based tests on the virtual-time kernel: determinism,
+//! Property-style tests on the virtual-time kernel: determinism,
 //! monotonicity and conservation over randomized rank programs.
+//!
+//! Programs are generated from the in-repo deterministic [`Rng`] (the
+//! workspace builds offline, without a property-testing framework).
 
-use proptest::prelude::*;
+use srumma_dense::Rng;
 use srumma_model::network::Path;
 use srumma_model::{Topology, TransferCost};
 use srumma_sim::{run_sim, SimConfig, TransferSpec};
+
+const CASES: u64 = 24;
 
 /// A compact, Copy description of a randomized rank program step.
 #[derive(Clone, Copy, Debug)]
@@ -14,12 +19,18 @@ enum Step {
     Barrier,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (1u8..50).prop_map(Step::Compute),
-        ((1u8..8), (1u8..64)).prop_map(|(src_off, kb)| Step::Get { src_off, kb }),
-        Just(Step::Barrier),
-    ]
+fn random_steps(rng: &mut Rng, max_len: usize) -> Vec<Step> {
+    let len = rng.range(1, max_len);
+    (0..len)
+        .map(|_| match rng.below(3) {
+            0 => Step::Compute(rng.range(1, 49) as u8),
+            1 => Step::Get {
+                src_off: rng.range(1, 7) as u8,
+                kb: rng.range(1, 63) as u8,
+            },
+            _ => Step::Barrier,
+        })
+        .collect()
 }
 
 fn run_program(nranks: usize, per_node: usize, steps: &[Step]) -> (Vec<f64>, f64, u64) {
@@ -75,47 +86,49 @@ fn run_program(nranks: usize, per_node: usize, steps: &[Step]) -> (Vec<f64>, f64
     (res.stats.final_times.clone(), res.stats.makespan, bytes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Identical programs produce bit-identical timings.
-    #[test]
-    fn simulation_is_deterministic(
-        steps in proptest::collection::vec(step_strategy(), 1..20),
-        nranks in 2usize..10,
-        per_node in 1usize..4,
-    ) {
+/// Identical programs produce bit-identical timings.
+#[test]
+fn simulation_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xDE7E_0001 + case);
+        let steps = random_steps(&mut rng, 19);
+        let nranks = rng.range(2, 9);
+        let per_node = rng.range(1, 3);
         let a = run_program(nranks, per_node, &steps);
         let b = run_program(nranks, per_node, &steps);
-        prop_assert_eq!(a.0, b.0);
-        prop_assert_eq!(a.1, b.1);
-        prop_assert_eq!(a.2, b.2);
+        assert_eq!(a.0, b.0, "case {case} (x{nranks}, {per_node}/node)");
+        assert_eq!(a.1, b.1, "case {case}");
+        assert_eq!(a.2, b.2, "case {case}");
     }
+}
 
-    /// Clocks never go backwards and the makespan bounds every rank.
-    #[test]
-    fn makespan_bounds_all_ranks(
-        steps in proptest::collection::vec(step_strategy(), 1..20),
-        nranks in 2usize..10,
-    ) {
+/// Clocks never go backwards and the makespan bounds every rank.
+#[test]
+fn makespan_bounds_all_ranks() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xB0BD_0002 + case);
+        let steps = random_steps(&mut rng, 19);
+        let nranks = rng.range(2, 9);
         let (times, makespan, _) = run_program(nranks, 2, &steps);
         for t in &times {
-            prop_assert!(*t >= 0.0);
-            prop_assert!(*t <= makespan + 1e-15);
+            assert!(*t >= 0.0, "case {case}: negative clock {t}");
+            assert!(*t <= makespan + 1e-15, "case {case}: {t} > {makespan}");
         }
     }
+}
 
-    /// Adding extra compute to every rank never shortens the makespan
-    /// (a basic monotonicity sanity for the conservative scheduler).
-    #[test]
-    fn extra_work_never_helps(
-        steps in proptest::collection::vec(step_strategy(), 1..15),
-        nranks in 2usize..8,
-    ) {
+/// Adding extra compute to every rank never shortens the makespan
+/// (a basic monotonicity sanity for the conservative scheduler).
+#[test]
+fn extra_work_never_helps() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x3072_0003 + case);
+        let steps = random_steps(&mut rng, 14);
+        let nranks = rng.range(2, 7);
         let (_, base, _) = run_program(nranks, 2, &steps);
         let mut more = steps.clone();
         more.push(Step::Compute(10));
         let (_, bigger, _) = run_program(nranks, 2, &more);
-        prop_assert!(bigger >= base - 1e-15, "{bigger} < {base}");
+        assert!(bigger >= base - 1e-15, "case {case}: {bigger} < {base}");
     }
 }

@@ -1,0 +1,198 @@
+//! Trace exporters: terminal Gantt chart and Chrome/Perfetto JSON.
+//!
+//! The Figure 3 harness prints the ASCII pipeline picture (dgemm on
+//! buffer *B1* overlapping the nonblocking get into *B2*) exactly as
+//! the paper draws it; the JSON form loads into `chrome://tracing` or
+//! <https://ui.perfetto.dev> for interactive inspection.
+
+use crate::event::{TraceEvent, TraceKind};
+use crate::json::JsonObject;
+
+/// Render a compact ASCII Gantt chart of a trace (used by examples and
+/// the Figure 3 harness). `width` is the number of character cells the
+/// full makespan maps to. Task-envelope events are skipped — they
+/// duplicate the compute/transfer intervals they contain.
+pub fn ascii_gantt(events: &[TraceEvent], nranks: usize, width: usize) -> String {
+    let makespan = events.iter().map(|e| e.t1).fold(0.0, f64::max);
+    if makespan <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let mut out = String::new();
+    for rank in 0..nranks {
+        let mut line = vec![' '; width];
+        for e in events.iter().filter(|e| e.rank == rank) {
+            let c = match e.kind {
+                TraceKind::Compute => '#',
+                TraceKind::Transfer => '-',
+                TraceKind::Wait => '.',
+                TraceKind::Barrier => '|',
+                TraceKind::Task => continue,
+            };
+            let a = ((e.t0 / makespan) * width as f64).floor() as usize;
+            let b = (((e.t1 / makespan) * width as f64).ceil() as usize).min(width);
+            for cell in line.iter_mut().take(b).skip(a.min(width)) {
+                // Compute (owner of the CPU) wins over overlapping
+                // transfer marks so the pipeline picture stays readable.
+                if *cell == ' ' || (c == '#') {
+                    *cell = c;
+                }
+            }
+        }
+        out.push_str(&format!("P{rank:<3} "));
+        out.extend(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Export a trace as a Chrome/Perfetto trace-event JSON array
+/// (`chrome://tracing`, <https://ui.perfetto.dev>). Ranks map to thread
+/// ids; durations are emitted as complete (`"ph": "X"`) events with
+/// microsecond timestamps. Transfer payload sizes appear in each
+/// event's `args.bytes`.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    if events.is_empty() {
+        return "[]".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, e) in events.iter().enumerate() {
+        let name = if e.label.is_empty() {
+            format!("{:?}", e.kind)
+        } else {
+            e.label.clone()
+        };
+        let mut o = JsonObject::new();
+        o.str("name", &name);
+        o.str("cat", e.kind.category());
+        o.str("ph", "X");
+        o.raw("ts", &format!("{:.3}", e.t0 * 1e6));
+        o.raw("dur", &format!("{:.3}", e.duration() * 1e6));
+        o.int("pid", 0);
+        o.int("tid", e.rank as u64);
+        if e.bytes > 0 {
+            o.raw("args", &format!("{{\"bytes\": {}}}", e.bytes));
+        }
+        out.push_str("  ");
+        out.push_str(&o.finish());
+        out.push_str(if i + 1 == events.len() { "\n" } else { ",\n" });
+    }
+    out.push(']');
+    out
+}
+
+/// Wrap a Chrome trace array together with a [`crate::RunStats`]
+/// metrics summary into one self-describing report document — the
+/// payload `scripts/bench_report` and the figure harnesses write to
+/// `results/BENCH_*.json`.
+pub fn bench_report_json(
+    name: &str,
+    backend: &str,
+    trace_json: &str,
+    summary_json: &str,
+) -> String {
+    let mut o = JsonObject::new();
+    o.str("bench", name);
+    o.str("backend", backend);
+    o.raw("metrics", summary_json);
+    o.raw("traceEvents", trace_json);
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rank: usize, t0: f64, t1: f64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            rank,
+            t0,
+            t1,
+            kind,
+            label: String::new(),
+            bytes: 0,
+        }
+    }
+
+    #[test]
+    fn gantt_renders_each_rank_line() {
+        let events = vec![
+            ev(0, 0.0, 1.0, TraceKind::Compute),
+            ev(1, 0.5, 1.0, TraceKind::Wait),
+        ];
+        let g = ascii_gantt(&events, 2, 20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('#'));
+        assert!(lines[1].contains('.'));
+    }
+
+    #[test]
+    fn compute_overrides_transfer_marks() {
+        let events = vec![
+            ev(0, 0.0, 1.0, TraceKind::Transfer),
+            ev(0, 0.0, 1.0, TraceKind::Compute),
+        ];
+        let g = ascii_gantt(&events, 1, 10);
+        assert!(g.contains('#'));
+        assert!(!g.contains('-'));
+    }
+
+    #[test]
+    fn task_envelopes_are_not_drawn() {
+        let events = vec![ev(0, 0.0, 1.0, TraceKind::Task)];
+        // The only event is a task envelope: the line stays blank.
+        let g = ascii_gantt(&events, 1, 10);
+        assert!(!g.contains('#') && !g.contains('-'));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert_eq!(ascii_gantt(&[], 3, 40), "");
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_json() {
+        let events = vec![
+            TraceEvent {
+                rank: 0,
+                t0: 0.0,
+                t1: 1e-3,
+                kind: TraceKind::Compute,
+                label: "dgemm \"quoted\"".into(),
+                bytes: 0,
+            },
+            TraceEvent {
+                rank: 1,
+                t0: 0.5e-3,
+                t1: 2e-3,
+                kind: TraceKind::Transfer,
+                label: String::new(),
+                bytes: 8192,
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        // Quotes in labels must be escaped.
+        assert!(json.contains("dgemm \\\"quoted\\\""));
+        assert!(json.contains("\"tid\": 1"));
+        assert!(json.contains("\"cat\": \"comm\""));
+        assert!(json.contains("\"args\": {\"bytes\": 8192}"));
+        // Two events, one comma between them.
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 2);
+    }
+
+    #[test]
+    fn empty_trace_is_empty_array() {
+        assert_eq!(chrome_trace_json(&[]), "[]");
+    }
+
+    #[test]
+    fn bench_report_wraps_trace_and_metrics() {
+        let r = bench_report_json("fig07_overlap", "sim", "[]", "{\"makespan_seconds\": 1}");
+        assert!(r.contains("\"bench\": \"fig07_overlap\""));
+        assert!(r.contains("\"backend\": \"sim\""));
+        assert!(r.contains("\"traceEvents\": []"));
+        assert!(r.contains("\"metrics\": {\"makespan_seconds\": 1}"));
+    }
+}

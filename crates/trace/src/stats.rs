@@ -1,0 +1,310 @@
+//! Per-rank and aggregate execution statistics.
+//!
+//! The paper reports not just GFLOP/s but *why*: how much communication
+//! was overlapped (">90 % on the Linux cluster"), how much moved through
+//! shared memory vs the network, and how the two shared-memory flavors
+//! trade copies against direct access (Figure 5). These counters let
+//! every harness print the same diagnostics from either backend.
+
+use crate::event::{TraceEvent, TraceKind};
+use crate::json::JsonObject;
+use crate::recorder::Counters;
+
+/// Counters accumulated for one rank during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankStats {
+    /// Seconds spent in modeled/real computation.
+    pub compute_time: f64,
+    /// Seconds the rank was blocked waiting for transfers, messages, or
+    /// pair synchronizations (the pipeline's stall time).
+    pub wait_time: f64,
+    /// Seconds spent at barriers (arrival → release).
+    pub barrier_time: f64,
+    /// Seconds charged for issuing/driving communication
+    /// (initiator-busy portions).
+    pub comm_busy_time: f64,
+    /// Bytes fetched through inter-domain RMA.
+    pub bytes_network: u64,
+    /// Bytes copied within a shared-memory domain.
+    pub bytes_shm: u64,
+    /// Bytes read in place from cacheable shared memory (no copy at
+    /// all — the Altix flavor's direct access).
+    pub bytes_direct: u64,
+    /// Number of transfers issued.
+    pub transfers: u64,
+    /// Number of point-to-point messages sent.
+    pub messages: u64,
+    /// Algorithm-level tasks executed.
+    pub tasks: u64,
+    /// Sum over async transfers of their in-flight duration
+    /// (issue→completion). Together with `wait_time` this yields the
+    /// achieved overlap fraction.
+    pub inflight_time: f64,
+    /// Seconds of CPU time stolen from this rank by remote,
+    /// non-zero-copy RMA operations.
+    pub stolen_cpu_time: f64,
+}
+
+impl RankStats {
+    /// Fraction of communication in-flight time hidden behind local
+    /// work: `1 − wait/inflight`, clamped to `[0, 1]`. Returns `None`
+    /// if this rank issued no asynchronous communication.
+    pub fn overlap_fraction(&self) -> Option<f64> {
+        if self.inflight_time <= 0.0 {
+            return None;
+        }
+        Some((1.0 - self.wait_time / self.inflight_time).clamp(0.0, 1.0))
+    }
+
+    /// Total bytes this rank *fetched* (copied), network or shared
+    /// memory — as opposed to bytes it read in place.
+    pub fn bytes_fetched(&self) -> u64 {
+        self.bytes_network + self.bytes_shm
+    }
+
+    /// Fold a comm-layer [`Counters`] snapshot into this rank's stats
+    /// (direct-access bytes and task counts are only known to the
+    /// algorithm layer).
+    pub fn absorb_counters(&mut self, ctr: &Counters) {
+        self.bytes_direct += ctr.bytes_direct;
+        self.tasks += ctr.tasks;
+    }
+}
+
+/// Aggregated result of a whole run, from either backend.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Per-rank counters.
+    pub ranks: Vec<RankStats>,
+    /// Final time of each rank (virtual or wall seconds).
+    pub final_times: Vec<f64>,
+    /// Maximum final time — the run's makespan.
+    pub makespan: f64,
+}
+
+impl RunStats {
+    /// Total bytes over the network across ranks.
+    pub fn total_network_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_network).sum()
+    }
+
+    /// Total bytes through shared memory across ranks.
+    pub fn total_shm_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_shm).sum()
+    }
+
+    /// Total bytes fetched (network + shared-memory copies).
+    pub fn total_fetched_bytes(&self) -> u64 {
+        self.total_network_bytes() + self.total_shm_bytes()
+    }
+
+    /// Total bytes read directly in place (no copy).
+    pub fn total_direct_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_direct).sum()
+    }
+
+    /// Mean achieved overlap across ranks that communicated
+    /// asynchronously.
+    pub fn mean_overlap(&self) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .ranks
+            .iter()
+            .filter_map(|r| r.overlap_fraction())
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Total pipeline stall time: seconds any rank sat blocked on a
+    /// transfer or message instead of computing.
+    pub fn total_stall_time(&self) -> f64 {
+        self.ranks.iter().map(|r| r.wait_time).sum()
+    }
+
+    /// Per-rank makespan skew: `(max − min final time) / makespan`,
+    /// in `[0, 1]`. 0 means perfectly balanced ranks; large values mean
+    /// stragglers dominate the run. Returns 0 for empty/zero runs.
+    pub fn makespan_skew(&self) -> f64 {
+        if self.makespan <= 0.0 || self.final_times.is_empty() {
+            return 0.0;
+        }
+        let min = self
+            .final_times
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = self.final_times.iter().copied().fold(0.0, f64::max);
+        ((max - min) / self.makespan).clamp(0.0, 1.0)
+    }
+
+    /// GFLOP/s achieved for a problem of `flops` floating point
+    /// operations: `flops / makespan / 1e9`.
+    pub fn gflops(&self, flops: f64) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        flops / self.makespan / 1e9
+    }
+
+    /// Derive run statistics from a recorded event stream — the thread
+    /// backend's path, where no simulation kernel accounts time.
+    /// `final_times[r]` becomes the latest event end on rank `r`.
+    pub fn from_events(nranks: usize, events: &[TraceEvent]) -> RunStats {
+        let mut ranks = vec![RankStats::default(); nranks];
+        let mut final_times = vec![0.0f64; nranks];
+        for e in events {
+            if e.rank >= nranks {
+                continue;
+            }
+            let r = &mut ranks[e.rank];
+            let dt = e.duration().max(0.0);
+            match e.kind {
+                TraceKind::Compute => r.compute_time += dt,
+                TraceKind::Wait => r.wait_time += dt,
+                TraceKind::Barrier => r.barrier_time += dt,
+                TraceKind::Transfer => {
+                    r.inflight_time += dt;
+                    r.transfers += 1;
+                    r.bytes_shm += e.bytes;
+                }
+                TraceKind::Task => {}
+            }
+            final_times[e.rank] = final_times[e.rank].max(e.t1);
+        }
+        let makespan = final_times.iter().copied().fold(0.0, f64::max);
+        RunStats {
+            ranks,
+            final_times,
+            makespan,
+        }
+    }
+
+    /// The metrics summary as a JSON object string — what the bench
+    /// harnesses write to `results/BENCH_*.json`.
+    pub fn summary_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.num("makespan_seconds", self.makespan);
+        o.int("ranks", self.ranks.len() as u64);
+        match self.mean_overlap() {
+            Some(v) => o.num("mean_overlap", v),
+            None => o.null("mean_overlap"),
+        }
+        o.int("bytes_network", self.total_network_bytes());
+        o.int("bytes_shm", self.total_shm_bytes());
+        o.int("bytes_fetched", self.total_fetched_bytes());
+        o.int("bytes_direct", self.total_direct_bytes());
+        o.num("stall_time_seconds", self.total_stall_time());
+        o.num("makespan_skew", self.makespan_skew());
+        o.int("tasks", self.ranks.iter().map(|r| r.tasks).sum::<u64>());
+        o.raw(
+            "per_rank_final_times",
+            &crate::json::array_f64(&self.final_times),
+        );
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_fraction_cases() {
+        let mut s = RankStats::default();
+        assert_eq!(s.overlap_fraction(), None);
+        s.inflight_time = 10.0;
+        s.wait_time = 1.0;
+        assert!((s.overlap_fraction().unwrap() - 0.9).abs() < 1e-12);
+        s.wait_time = 20.0; // waited longer than inflight (barrier mix)
+        assert_eq!(s.overlap_fraction().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn run_stats_aggregation() {
+        let rs = RunStats {
+            ranks: vec![
+                RankStats {
+                    bytes_network: 100,
+                    bytes_shm: 5,
+                    bytes_direct: 7,
+                    inflight_time: 1.0,
+                    wait_time: 0.0,
+                    ..Default::default()
+                },
+                RankStats {
+                    bytes_network: 50,
+                    bytes_shm: 10,
+                    ..Default::default()
+                },
+            ],
+            final_times: vec![2.0, 3.0],
+            makespan: 3.0,
+        };
+        assert_eq!(rs.total_network_bytes(), 150);
+        assert_eq!(rs.total_shm_bytes(), 15);
+        assert_eq!(rs.total_fetched_bytes(), 165);
+        assert_eq!(rs.total_direct_bytes(), 7);
+        // Only rank 0 communicated asynchronously.
+        assert_eq!(rs.mean_overlap(), Some(1.0));
+        assert!((rs.gflops(6e9) - 2.0).abs() < 1e-12);
+        assert!((rs.makespan_skew() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gflops_of_empty_run_is_zero() {
+        let rs = RunStats::default();
+        assert_eq!(rs.gflops(1e9), 0.0);
+        assert_eq!(rs.makespan_skew(), 0.0);
+    }
+
+    #[test]
+    fn from_events_buckets_kinds() {
+        let ev = |rank, t0: f64, t1: f64, kind, bytes| TraceEvent {
+            rank,
+            t0,
+            t1,
+            kind,
+            label: String::new(),
+            bytes,
+        };
+        let events = vec![
+            ev(0, 0.0, 1.0, TraceKind::Compute, 0),
+            ev(0, 1.0, 1.5, TraceKind::Wait, 0),
+            ev(0, 0.0, 2.0, TraceKind::Transfer, 4096),
+            ev(1, 0.0, 3.0, TraceKind::Compute, 0),
+            ev(1, 3.0, 3.1, TraceKind::Barrier, 0),
+        ];
+        let rs = RunStats::from_events(2, &events);
+        assert_eq!(rs.ranks[0].compute_time, 1.0);
+        assert_eq!(rs.ranks[0].wait_time, 0.5);
+        assert_eq!(rs.ranks[0].bytes_shm, 4096);
+        assert_eq!(rs.ranks[0].transfers, 1);
+        assert!((rs.ranks[1].barrier_time - 0.1).abs() < 1e-12);
+        assert_eq!(rs.final_times, vec![2.0, 3.1]);
+        assert!((rs.makespan - 3.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_json_is_wellformed() {
+        let rs = RunStats {
+            ranks: vec![RankStats {
+                bytes_network: 42,
+                inflight_time: 2.0,
+                wait_time: 0.5,
+                tasks: 9,
+                ..Default::default()
+            }],
+            final_times: vec![1.25],
+            makespan: 1.25,
+        };
+        let j = rs.summary_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"bytes_network\": 42"));
+        assert!(j.contains("\"mean_overlap\": 0.75"));
+        assert!(j.contains("\"tasks\": 9"));
+        assert!(j.contains("\"per_rank_final_times\": [1.25]"));
+    }
+}

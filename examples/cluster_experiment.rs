@@ -14,10 +14,7 @@ use srumma::{Algorithm, GemmSpec, Machine};
 fn main() {
     let mut args = std::env::args().skip(1);
     let platform = args.next().unwrap_or_else(|| "linux".to_string());
-    let nranks: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
+    let nranks: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
 
     let machine = match platform.as_str() {
         "linux" => Machine::linux_myrinet(),

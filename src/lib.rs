@@ -7,13 +7,15 @@
 //! * [`srumma_comm`] ([`comm`]) — ARMCI/MPI-style substrate;
 //! * [`srumma_sim`] ([`sim`]) — deterministic virtual-time simulator;
 //! * [`srumma_model`] ([`model`]) — machine & protocol cost models;
-//! * [`srumma_dense`] ([`dense`]) — serial blocked dgemm.
+//! * [`srumma_dense`] ([`dense`]) — serial blocked dgemm;
+//! * [`srumma_trace`] ([`trace`]) — per-rank event recorder & metrics.
 
 pub use srumma_comm as comm;
 pub use srumma_core as core;
 pub use srumma_dense as dense;
 pub use srumma_model as model;
 pub use srumma_sim as sim;
+pub use srumma_trace as trace;
 
 pub use srumma_core::{Algorithm, GemmSpec, ShmemFlavor, SrummaOptions, SummaOptions};
 pub use srumma_dense::{Matrix, Op};

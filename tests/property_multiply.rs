@@ -1,0 +1,108 @@
+//! Property test: both backends agree with the serial kernel over
+//! randomized problems — shapes (including degenerate ones), transpose
+//! cases, PBLAS scalars, rank counts and SRUMMA scheduling options.
+//!
+//! Seeds are deterministic (SplitMix64) and embedded in every assertion
+//! message, so a failure reproduces by running the named case alone.
+
+use srumma::core::driver::{multiply_threads, multiply_verified, serial_reference};
+use srumma::dense::{max_abs_diff, Rng};
+use srumma::{Algorithm, GemmSpec, Machine, Matrix, Op, ShmemFlavor, SrummaOptions};
+
+const CASES: u64 = 24;
+
+fn random_spec(rng: &mut Rng) -> GemmSpec {
+    let dim = |rng: &mut Rng| match rng.below(8) {
+        0 => 1,
+        1 => 2,
+        _ => rng.range(3, 40),
+    };
+    let op = |rng: &mut Rng| if rng.chance(0.5) { Op::T } else { Op::N };
+    let scalar = |rng: &mut Rng| match rng.below(3) {
+        0 => 1.0,
+        1 => 0.0,
+        _ => rng.unit() * 2.0,
+    };
+    GemmSpec::new(op(rng), op(rng), dim(rng), dim(rng), dim(rng))
+        .with_scalars(scalar(rng), scalar(rng))
+}
+
+fn random_srumma(rng: &mut Rng) -> SrummaOptions {
+    SrummaOptions {
+        smp_first: rng.chance(0.5),
+        diagonal_shift: rng.chance(0.5),
+        double_buffer: rng.chance(0.75),
+        prefetch_depth: rng.range(1, 3),
+        shmem: *rng.pick(&[
+            ShmemFlavor::Auto,
+            ShmemFlavor::ForceCopy,
+            ShmemFlavor::ForceDirect,
+        ]),
+    }
+}
+
+/// Per-element absolute tolerance: each C element is a k-term dot
+/// product, so the roundoff budget grows with k.
+fn tolerance(k: usize) -> f64 {
+    1e-12 * (k.max(1) as f64) * 100.0
+}
+
+/// `β·C + α·op(A)·op(B)` with a random nonzero starting C, checked
+/// against the serial kernel run on the same inputs.
+fn check_case(seed: u64, backend_threads: bool) {
+    let mut rng = Rng::new(seed);
+    let spec = random_spec(&mut rng);
+    let nranks = *rng.pick(&[1usize, 2, 3, 4, 6, 8]);
+    let a = Matrix::random(spec.m, spec.k, seed ^ 0xA);
+    let b = Matrix::random(spec.k, spec.n, seed ^ 0xB);
+
+    // The drivers start C at zero, so the serial reference must apply
+    // the same alpha (beta scales zeros away).
+    let mut expect = serial_reference(&spec, &a, &b);
+    for i in 0..spec.m {
+        for j in 0..spec.n {
+            expect[(i, j)] *= spec.alpha;
+        }
+    }
+
+    let alg = if rng.chance(0.7) {
+        Algorithm::Srumma(random_srumma(&mut rng))
+    } else if spec.alpha == 1.0 && rng.chance(0.5) {
+        Algorithm::summa_default()
+    } else {
+        Algorithm::Srumma(random_srumma(&mut rng))
+    };
+
+    let c = if backend_threads {
+        multiply_threads(nranks, &alg, &spec, &a, &b).0
+    } else {
+        multiply_verified(&Machine::linux_myrinet(), nranks, &alg, &spec, &a, &b).0
+    };
+    let diff = max_abs_diff(&c, &expect);
+    assert!(
+        diff < tolerance(spec.k),
+        "seed {seed:#x}: {} {} m={} n={} k={} alpha={} beta={} x{nranks} ({}): |diff|={diff:e}",
+        alg.name(),
+        spec.case_label(),
+        spec.m,
+        spec.n,
+        spec.k,
+        spec.alpha,
+        spec.beta,
+        if backend_threads { "threads" } else { "sim" },
+    );
+}
+
+#[test]
+fn threads_match_serial_reference_on_random_problems() {
+    for case in 0..CASES {
+        check_case(0xE2E_7EAD + case, true);
+    }
+}
+
+#[test]
+fn simulator_matches_serial_reference_on_random_problems() {
+    for case in 0..CASES {
+        check_case(0xE2E_0512 + case, false);
+    }
+}
