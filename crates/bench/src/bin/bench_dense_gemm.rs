@@ -1,0 +1,183 @@
+//! Local dgemm kernel throughput: `naive` vs the `scalar` micro-kernel
+//! vs the dispatched SIMD micro-kernel, at the block sizes SRUMMA's
+//! task loop actually feeds the serial kernel (a P-rank run of the
+//! paper's N=1000..16000 problems hands out ~64–500-wide blocks).
+//!
+//! This is the compute half of the paper's story made measurable: the
+//! RMA pipeline only pays off when it overlaps a *fast* local multiply,
+//! so the delivered GFLOP/s of `srumma-dense` is tracked as a first-
+//! class result. Emits `results/BENCH_dense_gemm.json` through the
+//! shared bench-report machinery; `scripts/ci.sh` regenerates it with
+//! `--quick` and diffs it against the checked-in baseline as a soft
+//! perf gate.
+//!
+//! Usage: `cargo run --release -p srumma-bench --bin bench_dense_gemm
+//! [-- --quick] [-- --out PATH]`
+
+use srumma_bench::{fmt, print_table, write_bench_json};
+use srumma_dense::gemm::gemm_flops;
+use srumma_dense::kernel::Microkernel;
+use srumma_dense::naive::naive_gemm;
+use srumma_dense::{blocked::blocked_gemm_ws, GemmWorkspace, Matrix, Op};
+use srumma_trace::bench_report_json;
+use srumma_trace::json::JsonObject;
+use std::time::Instant;
+
+struct Config {
+    quick: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        quick: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cfg.quick = true,
+            "--out" => cfg.out = args.next(),
+            other => {
+                eprintln!("unknown arg {other:?} (expected --quick, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
+/// Best-of-samples GFLOP/s of `f` (a full `n³` multiply per call).
+fn measure<F: FnMut()>(n: usize, quick: bool, mut f: F) -> f64 {
+    let (samples, target) = if quick { (3, 0.005) } else { (8, 0.02) };
+    f(); // warm caches and the workspace
+    let t = Instant::now();
+    f();
+    let once = t.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((target / once) as usize).clamp(1, 10_000);
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    gemm_flops(n, n, n) as f64 / best / 1e9
+}
+
+fn main() {
+    let cfg = parse_args();
+    // SRUMMA task-block sizes: a √P × √P grid over the paper's problem
+    // range leaves per-task operand blocks in the 64–500 band.
+    let sizes: &[usize] = if cfg.quick {
+        &[64, 256]
+    } else {
+        &[64, 128, 256, 500]
+    };
+
+    let simd = {
+        #[cfg(target_arch = "x86_64")]
+        {
+            Microkernel::Avx2.available().then_some(Microkernel::Avx2)
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            None::<Microkernel>
+        }
+    };
+
+    let mut metrics = JsonObject::new();
+    metrics.str("kernel_scalar", Microkernel::Scalar.name());
+    match simd {
+        Some(k) => metrics.str("kernel_simd", k.name()),
+        None => metrics.null("kernel_simd"),
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut worst_speedup = f64::INFINITY;
+    for &n in sizes {
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        let mut c = Matrix::zeros(n, n);
+
+        // Naive reference only where it finishes promptly; its point is
+        // the blocked-vs-naive gap, visible at any size.
+        let g_naive = if n <= 256 {
+            let g = measure(n, cfg.quick, || {
+                naive_gemm(Op::N, Op::N, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut())
+            });
+            metrics.num(&format!("gflops_naive_{n}"), g);
+            Some(g)
+        } else {
+            None
+        };
+
+        let mut ws_scalar = GemmWorkspace::with_kernel(Microkernel::Scalar);
+        let g_scalar = measure(n, cfg.quick, || {
+            blocked_gemm_ws(
+                Op::N,
+                Op::N,
+                1.0,
+                a.as_ref(),
+                b.as_ref(),
+                0.0,
+                c.as_mut(),
+                &mut ws_scalar,
+            )
+        });
+        metrics.num(&format!("gflops_scalar_{n}"), g_scalar);
+
+        let g_simd = simd.map(|k| {
+            let mut ws = GemmWorkspace::with_kernel(k);
+            let g = measure(n, cfg.quick, || {
+                blocked_gemm_ws(
+                    Op::N,
+                    Op::N,
+                    1.0,
+                    a.as_ref(),
+                    b.as_ref(),
+                    0.0,
+                    c.as_mut(),
+                    &mut ws,
+                )
+            });
+            metrics.num(&format!("gflops_simd_{n}"), g);
+            let speedup = g / g_scalar;
+            metrics.num(&format!("speedup_simd_over_scalar_{n}"), speedup);
+            worst_speedup = worst_speedup.min(speedup);
+            g
+        });
+
+        rows.push(vec![
+            n.to_string(),
+            g_naive.map(fmt).unwrap_or_else(|| "-".to_string()),
+            fmt(g_scalar),
+            g_simd.map(fmt).unwrap_or_else(|| "-".to_string()),
+            g_simd
+                .map(|g| format!("{:.2}x", g / g_scalar))
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    if worst_speedup.is_finite() {
+        metrics.num("speedup_simd_over_scalar_min", worst_speedup);
+    }
+
+    print_table(
+        "dense gemm kernel throughput (GFLOP/s, best of samples)",
+        &["n", "naive", "scalar", "simd", "simd/scalar"],
+        &rows,
+    );
+
+    let report = bench_report_json("dense_gemm", "host", "[]", &metrics.finish());
+    match &cfg.out {
+        Some(path) => match std::fs::write(path, &report) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => write_bench_json("dense_gemm", &report),
+    }
+}

@@ -1,11 +1,78 @@
 //! Calibration probe: check the machine profiles against the paper's
-//! anchor points (DESIGN.md §6). Not a figure — a development tool.
+//! anchor points (DESIGN.md §6), and sweep the host's gemm cache-block
+//! sizes (`--blocks`). Not a figure — a development tool.
 
 use srumma_bench::{fmt, pdgemm_best, srumma_gflops, srumma_stats};
 use srumma_core::GemmSpec;
+use srumma_dense::blocked::{blocked_gemm_ws, BlockSizes};
+use srumma_dense::{active_kernel, GemmWorkspace, Matrix, Op};
 use srumma_model::Machine;
+use std::time::Instant;
+
+/// Probe candidate `MC/KC/NC` block sizes on this host: time a
+/// representative SRUMMA task-block multiply under each candidate and
+/// report GFLOP/s, so the [`BlockSizes`] default can be retuned from
+/// evidence instead of guesswork.
+fn probe_block_sizes() {
+    let n = 384; // between the 256/500 task-block sizes, exceeds MC/NC
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let mut c = Matrix::zeros(n, n);
+    let flops = 2.0 * (n as f64).powi(3);
+    println!(
+        "block-size probe on this host (kernel {}, n={n}):",
+        active_kernel().name()
+    );
+    let mut best = (0.0f64, BlockSizes::default());
+    for &mc in &[32usize, 64, 128] {
+        for &kc in &[128usize, 256, 512] {
+            for &nc in &[256usize, 512, 1024] {
+                let blocks = BlockSizes::new(mc, kc, nc);
+                let mut ws = GemmWorkspace::with_blocks(blocks);
+                let mut run = |c: &mut Matrix| {
+                    blocked_gemm_ws(
+                        Op::N,
+                        Op::N,
+                        1.0,
+                        a.as_ref(),
+                        b.as_ref(),
+                        0.0,
+                        c.as_mut(),
+                        &mut ws,
+                    )
+                };
+                run(&mut c); // warm-up sizes the workspace
+                let mut min = f64::INFINITY;
+                for _ in 0..3 {
+                    let t = Instant::now();
+                    run(&mut c);
+                    min = min.min(t.elapsed().as_secs_f64());
+                }
+                let gf = flops / min / 1e9;
+                println!("  mc={mc:<4} kc={kc:<4} nc={nc:<5} {:>6} GFLOP/s", fmt(gf));
+                if gf > best.0 {
+                    best = (gf, blocks);
+                }
+            }
+        }
+    }
+    println!(
+        "best: mc={} kc={} nc={} at {} GFLOP/s (defaults mc={} kc={} nc={})",
+        best.1.mc,
+        best.1.kc,
+        best.1.nc,
+        fmt(best.0),
+        BlockSizes::default().mc,
+        BlockSizes::default().kc,
+        BlockSizes::default().nc,
+    );
+}
 
 fn main() {
+    if std::env::args().any(|a| a == "--blocks") {
+        probe_block_sizes();
+        return;
+    }
     let t0 = std::time::Instant::now();
     let anchors: Vec<(&str, Machine, usize, usize, f64, f64)> = vec![
         // name, machine, P, N, paper SRUMMA, paper pdgemm

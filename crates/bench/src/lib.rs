@@ -14,6 +14,7 @@ use srumma_sim::RunStats;
 use std::io::Write;
 use std::path::Path;
 
+pub mod jsonin;
 pub mod timing;
 
 /// Write a JSON report under `results/BENCH_<name>.json` (the unified

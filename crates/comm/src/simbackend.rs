@@ -8,7 +8,7 @@
 
 use crate::comm::{Comm, GetHandle};
 use crate::dist::DistMatrix;
-use srumma_dense::{dgemm, MatMut, MatRef, Op};
+use srumma_dense::{dgemm_ws, GemmWorkspace, MatMut, MatRef, Op};
 use srumma_model::network::Path;
 use srumma_model::{protocol, Machine, Topology, TransferCost};
 use srumma_sim::{run_sim, SimConfig, SimProc, SimResult, TransferSpec};
@@ -67,6 +67,9 @@ pub struct SimComm {
     /// events stay with the kernel, which knows their exact virtual
     /// intervals; [`sim_run`] merges both streams.
     recorder: Recorder,
+    /// Per-rank gemm packing workspace, reused across every real-backed
+    /// `gemm` this rank executes.
+    ws: GemmWorkspace,
 }
 
 impl SimComm {
@@ -275,7 +278,7 @@ impl Comm for SimComm {
         };
         self.proc.charge_compute(base / factor, label);
         if let (Some(a), Some(b), Some(c)) = (a, b, c) {
-            dgemm(ta, tb, alpha, a, b, 1.0, c);
+            dgemm_ws(ta, tb, alpha, a, b, 1.0, c, &mut self.ws);
         }
     }
 
@@ -461,6 +464,7 @@ where
             machine: machine.clone(),
             outstanding: Vec::new(),
             recorder: Recorder::new(rank, trace),
+            ws: GemmWorkspace::new(),
         };
         let out = body(&mut comm);
         let (events, counters) = comm.recorder.take();

@@ -10,7 +10,7 @@
 
 use crate::comm::{Comm, GetHandle};
 use crate::dist::DistMatrix;
-use srumma_dense::{dgemm, MatMut, MatRef, Op};
+use srumma_dense::{dgemm_ws, GemmWorkspace, MatMut, MatRef, Op};
 use srumma_model::Topology;
 use srumma_trace::{Counters, Recorder, RunStats, TraceEvent, TraceKind};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -89,6 +89,9 @@ pub struct ThreadComm {
     /// backend uses, recording `Instant`-derived seconds instead of
     /// virtual time).
     recorder: Recorder,
+    /// Per-rank gemm packing workspace, reused across every `gemm` call
+    /// this rank issues (zero steady-state allocations in the task loop).
+    ws: GemmWorkspace,
 }
 
 impl ThreadComm {
@@ -202,7 +205,7 @@ impl Comm for ThreadComm {
             panic!("thread backend requires real-backed matrices ({m}x{n}x{k} block had none)");
         };
         let t0 = self.span_start();
-        dgemm(ta, tb, alpha, a, b, 1.0, c);
+        dgemm_ws(ta, tb, alpha, a, b, 1.0, c, &mut self.ws);
         self.span_end(TraceKind::Compute, t0, 0, || label.to_string());
     }
 
@@ -323,6 +326,7 @@ where
                     receivers,
                     t0,
                     recorder: Recorder::new(rank, trace),
+                    ws: GemmWorkspace::new(),
                 };
                 // A panicking rank must poison the barrier (and drop
                 // its channel endpoints), or every other rank hangs in

@@ -217,25 +217,21 @@ pub fn srumma<C: Comm>(
     debug_assert_eq!(ccols, srumma_comm::dist::chunk_len(spec.n, grid.q, gj));
 
     // Panels of tasks [pos ..= pos + depth]: the eviction-protection
-    // window at position `pos`.
-    let window_a = |pos: usize| -> Vec<usize> {
-        order[pos..(pos + depth + 1).min(order.len())]
-            .iter()
-            .map(|&i| tasks[i].la)
-            .collect()
-    };
-    let window_b = |pos: usize| -> Vec<usize> {
-        order[pos..(pos + depth + 1).min(order.len())]
-            .iter()
-            .map(|&i| tasks[i].lb)
-            .collect()
-    };
+    // window at position `pos`. The two window vectors are allocated
+    // once and refilled per task — the task loop is the per-rank hot
+    // path and must stay allocation-free in the steady state.
+    let mut wa: Vec<usize> = Vec::with_capacity(depth + 1);
+    let mut wb: Vec<usize> = Vec::with_capacity(depth + 1);
 
     for (pos, &idx) in order.iter().enumerate() {
         let t = tasks[idx];
         let (sa, sb) = sources[pos];
-        let wa = window_a(pos);
-        let wb = window_b(pos);
+        wa.clear();
+        wb.clear();
+        for &i in &order[pos..(pos + depth + 1).min(order.len())] {
+            wa.push(tasks[i].la);
+            wb.push(tasks[i].lb);
+        }
         let traced = comm.recorder().is_enabled();
         let t_task = if traced { comm.now() } else { 0.0 };
 

@@ -3,32 +3,172 @@
 //! Classic three-level blocking around the packed micro-kernel:
 //!
 //! ```text
-//! for jc in steps of NC:          // B panel fits in L3 / stays streaming
-//!   for lc in steps of KC:        // packed B panel fits in L2
+//! for jc in steps of nc:          // B panel fits in L3 / stays streaming
+//!   for lc in steps of kc:        // packed B panel fits in L2
 //!     pack B[lc.., jc..]
-//!     for ic in steps of MC:      // packed A panel fits in L1/L2
+//!     for ic in steps of mc:      // packed A panel fits in L1/L2
 //!       pack A[ic.., lc..]
-//!       macro-kernel: MR x NR micro-tiles over the packed panels
+//!       macro-kernel: mr x nr micro-tiles over the packed panels
 //! ```
 //!
 //! `β·C` is applied exactly once at the start (BLAS semantics), after
 //! which every `(lc)` slice accumulates into C.
+//!
+//! The packing buffers live in a [`GemmWorkspace`] that callers on hot
+//! paths (the `Comm::gemm` implementations, the SRUMMA task loop) keep
+//! across calls, so the steady state performs **zero** heap
+//! allocations; the cache-block sizes are per-workspace [`BlockSizes`]
+//! the `calibrate` harness can probe instead of hard-coded constants.
+//! The micro-kernel itself is dispatched once per process (or pinned
+//! per workspace) — see [`crate::kernel::Microkernel`].
 
 use crate::gemm::Op;
-use crate::kernel::{microkernel, MR, NR};
+use crate::kernel::{active_kernel, writeback, Microkernel, ACC_LEN};
 use crate::matrix::{MatMut, MatRef};
 use crate::pack::{pack_a, pack_b};
 
-/// Cache-block sizes. Chosen for ~32 KiB L1 / 1 MiB L2 class machines;
-/// correctness never depends on them.
+/// Default M-dimension cache block. Chosen for ~32 KiB L1 / 1 MiB L2
+/// class machines; correctness never depends on it.
 pub const MC: usize = 64;
-/// K-dimension block.
+/// Default K-dimension block.
 pub const KC: usize = 256;
-/// N-dimension block.
+/// Default N-dimension block.
 pub const NC: usize = 512;
 
-/// Cache-blocked `C ← α·op(A)·op(B) + β·C`. See [`crate::dgemm`].
-pub fn blocked_gemm(
+/// Tunable cache-block sizes for the three blocking levels.
+///
+/// Correctness never depends on these; throughput does. The defaults
+/// match the historical constants; `cargo run --bin calibrate` probes a
+/// candidate grid on the host and reports the best-performing set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockSizes {
+    /// A-panel rows per pack (`ic` step).
+    pub mc: usize,
+    /// Shared inner-dimension block (`lc` step).
+    pub kc: usize,
+    /// B-panel columns per pack (`jc` step).
+    pub nc: usize,
+}
+
+impl Default for BlockSizes {
+    fn default() -> Self {
+        BlockSizes {
+            mc: MC,
+            kc: KC,
+            nc: NC,
+        }
+    }
+}
+
+impl BlockSizes {
+    /// Explicit block sizes.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(mc: usize, kc: usize, nc: usize) -> Self {
+        assert!(mc > 0 && kc > 0 && nc > 0, "block sizes must be positive");
+        BlockSizes { mc, kc, nc }
+    }
+}
+
+/// Reusable per-caller gemm state: the packing buffers, the cache-block
+/// sizes, and the micro-kernel the packing layout is sized for.
+///
+/// Construct one per rank (or per thread) and pass it to
+/// [`blocked_gemm_ws`] / [`crate::dgemm_ws`]; the buffers are sized on
+/// first use and never reallocated afterwards — [`Self::grow_count`]
+/// stays at 1 over any number of calls, which is what "zero per-call
+/// heap allocations in the steady state" means concretely.
+#[derive(Debug)]
+pub struct GemmWorkspace {
+    kernel: Microkernel,
+    blocks: BlockSizes,
+    apack: Vec<f64>,
+    bpack: Vec<f64>,
+    grows: u64,
+}
+
+impl Default for GemmWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GemmWorkspace {
+    /// Workspace for the process-wide dispatched kernel and default
+    /// block sizes.
+    pub fn new() -> Self {
+        Self::with_config(active_kernel(), BlockSizes::default())
+    }
+
+    /// Workspace pinned to an explicit kernel (differential tests, CI
+    /// fallback runs).
+    ///
+    /// # Panics
+    /// Panics if `kernel` is not available on this host.
+    pub fn with_kernel(kernel: Microkernel) -> Self {
+        Self::with_config(kernel, BlockSizes::default())
+    }
+
+    /// Workspace with explicit block sizes (the `calibrate` probe).
+    pub fn with_blocks(blocks: BlockSizes) -> Self {
+        Self::with_config(active_kernel(), blocks)
+    }
+
+    /// Fully explicit workspace.
+    ///
+    /// # Panics
+    /// Panics if `kernel` is not available on this host.
+    pub fn with_config(kernel: Microkernel, blocks: BlockSizes) -> Self {
+        assert!(
+            kernel.available(),
+            "{} kernel is not available on this host",
+            kernel.name()
+        );
+        GemmWorkspace {
+            kernel,
+            blocks,
+            apack: Vec::new(),
+            bpack: Vec::new(),
+            grows: 0,
+        }
+    }
+
+    /// The micro-kernel this workspace packs for.
+    pub fn kernel(&self) -> Microkernel {
+        self.kernel
+    }
+
+    /// The cache-block sizes in effect.
+    pub fn blocks(&self) -> BlockSizes {
+        self.blocks
+    }
+
+    /// How many times the packing buffers have grown. After the first
+    /// gemm this stays constant — the reuse guarantee tests assert on.
+    pub fn grow_count(&self) -> u64 {
+        self.grows
+    }
+
+    /// Make sure the packing buffers cover one full (mc × kc) A panel
+    /// and one (kc × nc) B panel. Buffer demand depends only on the
+    /// workspace configuration, so this grows at most once.
+    fn reserve(&mut self) {
+        let (mr, nr) = (self.kernel.mr(), self.kernel.nr());
+        let a_need = self.blocks.mc.div_ceil(mr) * mr * self.blocks.kc;
+        let b_need = self.blocks.nc.div_ceil(nr) * nr * self.blocks.kc;
+        if self.apack.len() < a_need || self.bpack.len() < b_need {
+            self.apack.resize(a_need, 0.0);
+            self.bpack.resize(b_need, 0.0);
+            self.grows += 1;
+        }
+    }
+}
+
+/// Cache-blocked `C ← α·op(A)·op(B) + β·C` with caller-owned workspace.
+/// See [`crate::dgemm`] for the shape contract.
+#[allow(clippy::too_many_arguments)]
+pub fn blocked_gemm_ws(
     transa: Op,
     transb: Op,
     alpha: f64,
@@ -36,6 +176,7 @@ pub fn blocked_gemm(
     b: MatRef<'_>,
     beta: f64,
     mut c: MatMut<'_>,
+    ws: &mut GemmWorkspace,
 ) {
     let m = c.rows();
     let n = c.cols();
@@ -51,34 +192,56 @@ pub fn blocked_gemm(
         return;
     }
 
-    // Reusable packing buffers, sized for full blocks.
-    let mut apack = vec![0.0; MC.div_ceil(MR) * MR * KC];
-    let mut bpack = vec![0.0; NC.div_ceil(NR) * NR * KC];
+    ws.reserve();
+    let kernel = ws.kernel;
+    let BlockSizes {
+        mc: bmc,
+        kc: bkc,
+        nc: bnc,
+    } = ws.blocks;
 
-    let ldc = c.ld();
     let mut jc = 0;
     while jc < n {
-        let nc = NC.min(n - jc);
+        let nc = bnc.min(n - jc);
         let mut lc = 0;
         while lc < k {
-            let kc = KC.min(k - lc);
-            pack_b(transb, b, lc, jc, kc, nc, &mut bpack);
+            let kc = bkc.min(k - lc);
+            pack_b(transb, b, lc, jc, kc, nc, kernel.nr(), &mut ws.bpack);
             let mut ic = 0;
             while ic < m {
-                let mc = MC.min(m - ic);
-                pack_a(transa, a, ic, lc, mc, kc, &mut apack);
-                macro_kernel(mc, nc, kc, alpha, &apack, &bpack, &mut c, ic, jc, ldc);
-                ic += MC;
+                let mc = bmc.min(m - ic);
+                pack_a(transa, a, ic, lc, mc, kc, kernel.mr(), &mut ws.apack);
+                macro_kernel(
+                    kernel, mc, nc, kc, alpha, &ws.apack, &ws.bpack, &mut c, ic, jc,
+                );
+                ic += bmc;
             }
-            lc += KC;
+            lc += bkc;
         }
-        jc += NC;
+        jc += bnc;
     }
 }
 
-/// Run the micro-kernel over every `MR × NR` tile of an `mc × nc` block.
+/// Cache-blocked gemm with a throwaway workspace — the convenience
+/// entry for one-off calls; hot paths should hold a [`GemmWorkspace`]
+/// and call [`blocked_gemm_ws`].
+pub fn blocked_gemm(
+    transa: Op,
+    transb: Op,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: MatMut<'_>,
+) {
+    let mut ws = GemmWorkspace::new();
+    blocked_gemm_ws(transa, transb, alpha, a, b, beta, c, &mut ws);
+}
+
+/// Run the micro-kernel over every `mr × nr` tile of an `mc × nc` block.
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel(
+    kernel: Microkernel,
     mc: usize,
     nc: usize,
     kc: usize,
@@ -88,42 +251,24 @@ fn macro_kernel(
     c: &mut MatMut<'_>,
     ic: usize,
     jc: usize,
-    ldc: usize,
 ) {
-    let m_slivers = mc.div_ceil(MR);
-    let n_slivers = nc.div_ceil(NR);
+    let (mr, nr) = (kernel.mr(), kernel.nr());
+    let m_slivers = mc.div_ceil(mr);
+    let n_slivers = nc.div_ceil(nr);
     for js in 0..n_slivers {
-        let b_sliver = &bpack[js * NR * kc..(js + 1) * NR * kc];
-        let cols = NR.min(nc - js * NR);
+        let b_sliver = &bpack[js * nr * kc..(js + 1) * nr * kc];
+        let cols = nr.min(nc - js * nr);
         for is in 0..m_slivers {
-            let a_sliver = &apack[is * MR * kc..(is + 1) * MR * kc];
-            let rows = MR.min(mc - is * MR);
-            let mut acc = [0.0; MR * NR];
-            microkernel(kc, a_sliver, b_sliver, &mut acc);
-            // Element (ic + is*MR, jc + js*NR) of C within its buffer.
-            let r0 = ic + is * MR;
-            let c0 = jc + js * NR;
-            let tile = c.reborrow().block(r0, c0, rows, cols);
-            // `block` gives us a view; writeback wants the raw slice.
-            let ld = tile.ld();
-            debug_assert_eq!(ld, ldc);
-            write_tile(&acc, alpha, tile, rows, cols);
-        }
-    }
-}
-
-fn write_tile(acc: &[f64; MR * NR], alpha: f64, mut tile: MatMut<'_>, rows: usize, cols: usize) {
-    for r in 0..rows {
-        let row = tile.row_mut(r);
-        let src = &acc[r * NR..r * NR + cols];
-        if alpha == 1.0 {
-            for (d, s) in row[..cols].iter_mut().zip(src) {
-                *d += *s;
-            }
-        } else {
-            for (d, s) in row[..cols].iter_mut().zip(src) {
-                *d += alpha * *s;
-            }
+            let a_sliver = &apack[is * mr * kc..(is + 1) * mr * kc];
+            let rows = mr.min(mc - is * mr);
+            let mut acc = [0.0; ACC_LEN];
+            kernel.run(kc, a_sliver, b_sliver, &mut acc);
+            // Element (ic + is*mr, jc + js*nr) of C within its buffer.
+            let r0 = ic + is * mr;
+            let c0 = jc + js * nr;
+            let mut tile = c.reborrow().block(r0, c0, rows, cols);
+            let ldc = tile.ld();
+            writeback(&acc, alpha, rows, cols, nr, tile.data_mut(), ldc);
         }
     }
 }
@@ -167,10 +312,12 @@ mod tests {
 
     #[test]
     fn sizes_around_block_boundaries() {
+        let mr = active_kernel().mr();
+        let nr = active_kernel().nr();
         for &(m, n, k) in &[
             (1, 1, 1),
-            (MR, NR, 4),
-            (MR + 1, NR + 1, 5),
+            (mr, nr, 4),
+            (mr + 1, nr + 1, 5),
             (MC, NC.min(64), KC.min(64)),
             (MC + 3, 70, KC.min(40) + 3),
             (130, 70, 90),
@@ -227,5 +374,89 @@ mod tests {
         let mut c = Matrix::from_fn(3, 3, |_, _| 2.0);
         blocked_gemm(Op::N, Op::N, 1.0, a.as_ref(), b.as_ref(), 0.5, c.as_mut());
         assert!(c.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn workspace_allocates_once_across_many_calls() {
+        let mut ws = GemmWorkspace::new();
+        assert_eq!(ws.grow_count(), 0, "construction must not allocate panels");
+        let a = Matrix::random(130, 90, 1);
+        let b = Matrix::random(90, 70, 2);
+        let mut c = Matrix::zeros(130, 70);
+        for i in 0..4 {
+            blocked_gemm_ws(
+                Op::N,
+                Op::N,
+                1.0,
+                a.as_ref(),
+                b.as_ref(),
+                0.0,
+                c.as_mut(),
+                &mut ws,
+            );
+            assert_eq!(ws.grow_count(), 1, "call {i}: steady state must not grow");
+        }
+        // Larger problems still reuse the same panels: buffer demand
+        // depends on the block configuration, not the problem size.
+        let a2 = Matrix::random(300, 300, 3);
+        let b2 = Matrix::random(300, 300, 4);
+        let mut c2 = Matrix::zeros(300, 300);
+        blocked_gemm_ws(
+            Op::N,
+            Op::N,
+            1.0,
+            a2.as_ref(),
+            b2.as_ref(),
+            0.0,
+            c2.as_mut(),
+            &mut ws,
+        );
+        assert_eq!(ws.grow_count(), 1);
+    }
+
+    #[test]
+    fn custom_block_sizes_stay_correct() {
+        // Deliberately awkward blocks (tiny, non-multiples of mr/nr)
+        // must not change results.
+        for &(mc, kc, nc) in &[
+            (3usize, 5usize, 7usize),
+            (1, 1, 1),
+            (16, 8, 24),
+            (128, 512, 96),
+        ] {
+            let mut ws = GemmWorkspace::with_blocks(BlockSizes::new(mc, kc, nc));
+            let (m, n, k) = (37, 29, 41);
+            let a = Matrix::random(m, k, 60);
+            let b = Matrix::random(k, n, 61);
+            let c0 = Matrix::random(m, n, 62);
+            let mut expect = c0.clone();
+            naive_gemm(
+                Op::N,
+                Op::N,
+                1.5,
+                a.as_ref(),
+                b.as_ref(),
+                0.5,
+                expect.as_mut(),
+            );
+            let mut got = c0.clone();
+            blocked_gemm_ws(
+                Op::N,
+                Op::N,
+                1.5,
+                a.as_ref(),
+                b.as_ref(),
+                0.5,
+                got.as_mut(),
+                &mut ws,
+            );
+            assert_close(&got, &expect, 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block sizes must be positive")]
+    fn zero_block_size_panics() {
+        let _ = BlockSizes::new(0, 256, 512);
     }
 }

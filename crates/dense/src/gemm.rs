@@ -5,7 +5,7 @@
 //! paper's methodology ("the same dgemm routines from vendor optimized
 //! math library were used" for all parallel algorithms).
 
-use crate::blocked::blocked_gemm;
+use crate::blocked::{blocked_gemm, blocked_gemm_ws, GemmWorkspace};
 use crate::matrix::{MatMut, MatRef};
 
 /// Whether a gemm operand enters the product transposed.
@@ -61,6 +61,23 @@ pub fn dgemm(
     c: MatMut<'_>,
 ) {
     blocked_gemm(transa, transb, alpha, a, b, beta, c);
+}
+
+/// [`dgemm`] with a caller-owned [`GemmWorkspace`], for hot paths that
+/// issue many gemms (the comm backends, the SRUMMA task loop): packing
+/// buffers are allocated once per workspace, not once per call.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_ws(
+    transa: Op,
+    transb: Op,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: MatMut<'_>,
+    ws: &mut GemmWorkspace,
+) {
+    blocked_gemm_ws(transa, transb, alpha, a, b, beta, c, ws);
 }
 
 /// Convenience wrapper: allocate and return `op(A)·op(B)`.

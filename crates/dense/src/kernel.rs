@@ -1,26 +1,164 @@
-//! The register-blocked micro-kernel.
+//! Register-blocked micro-kernels and their runtime dispatch.
 //!
-//! Computes a single `MR × NR` tile of the product from packed operand
-//! slivers (see [`crate::pack`]). The accumulator lives in a local array
-//! that the compiler keeps in vector registers; with `MR = 4`, `NR = 8`
-//! the inner loop is 32 fused multiply-adds per `k` step, enough for LLVM
-//! to autovectorize to AVX2 on x86-64 without any explicit intrinsics
-//! (keeping the crate fully portable).
+//! Two micro-kernels compute an `MR × nr` tile of the product from
+//! packed operand slivers (see [`crate::pack`]):
+//!
+//! * **scalar** (`MR = 4`, `NR = 8`) — portable Rust; the accumulator
+//!   lives in a local array the compiler keeps in vector registers, and
+//!   LLVM autovectorizes the 32 multiply-adds per `k` step to whatever
+//!   the build target allows (SSE2 on a default `x86_64` build). This is
+//!   the fallback on every architecture and the differential-test
+//!   oracle for the SIMD path.
+//! * **AVX2+FMA** (`MR = 4`, `NR = 12`, [`crate::simd`]) — explicit
+//!   `std::arch` intrinsics behind *runtime* feature detection: a 4×12
+//!   register tiling holding twelve 256-bit accumulators (plus three
+//!   B-vector and one broadcast register — exactly the sixteen `ymm`
+//!   registers AVX2 offers), three loads + four broadcasts + twelve
+//!   FMAs per `k` step.
+//!
+//! Dispatch is resolved **once per process** ([`active_kernel`], cached
+//! in a `OnceLock`) — never per call — and can be forced with the
+//! `SRUMMA_KERNEL` environment variable (`scalar`, `avx2`, `auto`),
+//! which is how CI keeps the portable path green on AVX2 hosts.
 
-/// Micro-tile rows.
+use std::sync::OnceLock;
+
+/// Micro-tile rows (both kernels).
 pub const MR: usize = 4;
-/// Micro-tile columns.
+/// Micro-tile columns of the scalar kernel.
 pub const NR: usize = 8;
+/// Micro-tile columns of the AVX2 kernel.
+pub const NR_AVX2: usize = 12;
+/// Largest `nr` any kernel uses — sizes the stack accumulator.
+pub const NR_MAX: usize = 12;
+/// Accumulator length covering every kernel's `MR × nr` tile.
+pub const ACC_LEN: usize = MR * NR_MAX;
 
-/// Accumulate `a_sliver · b_sliver` into `acc`.
+/// A selectable micro-kernel implementation.
+///
+/// The variant fixes the register tiling (`mr × nr`) and therefore the
+/// packed-sliver layout the kernel consumes; [`crate::blocked`] sizes
+/// its packing to whichever kernel a [`crate::blocked::GemmWorkspace`]
+/// carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Microkernel {
+    /// Portable scalar/autovectorized kernel (`4 × 8`).
+    Scalar,
+    /// AVX2+FMA intrinsics kernel (`4 × 12`). Construct it only on
+    /// hosts where [`Microkernel::available`] is true (running it
+    /// elsewhere is undefined behavior); [`active_kernel`] and
+    /// [`crate::blocked::GemmWorkspace`] enforce this.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+impl Microkernel {
+    /// Register-tile rows.
+    #[inline]
+    pub fn mr(self) -> usize {
+        MR
+    }
+
+    /// Register-tile columns (the packed B sliver width).
+    #[inline]
+    pub fn nr(self) -> usize {
+        match self {
+            Microkernel::Scalar => NR,
+            #[cfg(target_arch = "x86_64")]
+            Microkernel::Avx2 => NR_AVX2,
+        }
+    }
+
+    /// Human-readable kernel name (for bench reports and traces).
+    pub fn name(self) -> &'static str {
+        match self {
+            Microkernel::Scalar => "scalar-4x8",
+            #[cfg(target_arch = "x86_64")]
+            Microkernel::Avx2 => "avx2-4x12",
+        }
+    }
+
+    /// Whether this kernel can run on the current host.
+    pub fn available(self) -> bool {
+        match self {
+            Microkernel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Microkernel::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+        }
+    }
+
+    /// Accumulate `a_sliver · b_sliver` into the `mr() × nr()` tile at
+    /// the front of `acc` (row `r`, column `c` at `acc[r * nr() + c]`).
+    ///
+    /// * `a_sliver` — packed `mr × kc` sliver, element `(r, k)` at
+    ///   `k * mr + r`.
+    /// * `b_sliver` — packed `kc × nr` sliver, element `(k, c)` at
+    ///   `k * nr + c`.
+    #[inline]
+    pub fn run(self, kc: usize, a_sliver: &[f64], b_sliver: &[f64], acc: &mut [f64]) {
+        match self {
+            Microkernel::Scalar => microkernel(kc, a_sliver, b_sliver, acc),
+            #[cfg(target_arch = "x86_64")]
+            Microkernel::Avx2 => {
+                debug_assert!(self.available(), "Avx2 kernel on a non-AVX2 host");
+                // SAFETY: the Avx2 variant is only constructed on hosts
+                // where runtime detection confirmed avx2+fma (see the
+                // variant docs); sliver/acc bounds are checked inside.
+                unsafe { crate::simd::microkernel_avx2(kc, a_sliver, b_sliver, acc) }
+            }
+        }
+    }
+}
+
+/// The process-wide dispatched kernel: detected once, cached forever.
+///
+/// Order of precedence: `SRUMMA_KERNEL` env var (`scalar` forces the
+/// portable kernel, `avx2` forces SIMD where available, `auto`/unset
+/// detects), then runtime CPU feature detection.
+pub fn active_kernel() -> Microkernel {
+    static ACTIVE: OnceLock<Microkernel> = OnceLock::new();
+    *ACTIVE.get_or_init(detect_kernel)
+}
+
+/// One detection pass (uncached — [`active_kernel`] is the entry point).
+pub fn detect_kernel() -> Microkernel {
+    let forced = std::env::var("SRUMMA_KERNEL").ok();
+    match forced.as_deref() {
+        Some("scalar") | Some("portable") => return Microkernel::Scalar,
+        Some("avx2") | Some("simd") => {
+            #[cfg(target_arch = "x86_64")]
+            if Microkernel::Avx2.available() {
+                return Microkernel::Avx2;
+            }
+            eprintln!("SRUMMA_KERNEL requested SIMD but AVX2+FMA is unavailable; using scalar");
+            return Microkernel::Scalar;
+        }
+        Some("auto") | None => {}
+        Some(other) => {
+            eprintln!("unknown SRUMMA_KERNEL={other:?} (expected scalar|avx2|auto); detecting");
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    if Microkernel::Avx2.available() {
+        return Microkernel::Avx2;
+    }
+    Microkernel::Scalar
+}
+
+/// The portable scalar micro-kernel: accumulate `a_sliver · b_sliver`
+/// into the `MR × NR` tile at the front of `acc`.
 ///
 /// * `a_sliver` — packed `MR × kc` sliver, element `(r, k)` at `k*MR + r`.
 /// * `b_sliver` — packed `kc × NR` sliver, element `(k, c)` at `k*NR + c`.
-/// * `acc` — `MR * NR` accumulator, element `(r, c)` at `r*NR + c`.
+/// * `acc` — accumulator, element `(r, c)` at `r*NR + c`.
 #[inline]
-pub fn microkernel(kc: usize, a_sliver: &[f64], b_sliver: &[f64], acc: &mut [f64; MR * NR]) {
+pub fn microkernel(kc: usize, a_sliver: &[f64], b_sliver: &[f64], acc: &mut [f64]) {
     debug_assert!(a_sliver.len() >= kc * MR);
     debug_assert!(b_sliver.len() >= kc * NR);
+    debug_assert!(acc.len() >= MR * NR);
     for k in 0..kc {
         let a_k = &a_sliver[k * MR..k * MR + MR];
         let b_k = &b_sliver[k * NR..k * NR + NR];
@@ -35,24 +173,30 @@ pub fn microkernel(kc: usize, a_sliver: &[f64], b_sliver: &[f64], acc: &mut [f64
 }
 
 /// Write an accumulator tile into `C`, honouring `alpha` and the valid
-/// (non-padded) extent `rows × cols` of the tile.
+/// (non-padded) extent `rows × cols` of the tile. This is the single
+/// writeback path shared by [`crate::blocked`]'s macro-kernel and any
+/// direct micro-kernel caller.
 ///
-/// `c` points at element `(0, 0)` of the tile within a row-major buffer of
-/// leading dimension `ldc`. `beta` is applied by the caller once per
-/// whole-matrix pass (BLAS convention), so this routine only accumulates.
+/// `acc` holds an `nr`-wide tile (element `(r, c)` at `r*nr + c`); `c`
+/// points at element `(0, 0)` of the destination tile within a
+/// row-major buffer of leading dimension `ldc`. `beta` is applied by
+/// the caller once per whole-matrix pass (BLAS convention), so this
+/// routine only accumulates.
 #[inline]
 pub fn writeback(
-    acc: &[f64; MR * NR],
+    acc: &[f64],
     alpha: f64,
     rows: usize,
     cols: usize,
+    nr: usize,
     c: &mut [f64],
     ldc: usize,
 ) {
-    debug_assert!(rows <= MR && cols <= NR);
+    debug_assert!(rows <= MR && cols <= nr);
+    debug_assert!(acc.len() >= rows.saturating_sub(1) * nr + cols);
     for r in 0..rows {
         let dst = &mut c[r * ldc..r * ldc + cols];
-        let src = &acc[r * NR..r * NR + cols];
+        let src = &acc[r * nr..r * nr + cols];
         if alpha == 1.0 {
             for (d, s) in dst.iter_mut().zip(src) {
                 *d += *s;
@@ -114,7 +258,7 @@ mod tests {
         }
         let ldc = 10;
         let mut c = vec![1.0; MR * ldc];
-        writeback(&acc, 2.0, 3, 5, &mut c, ldc);
+        writeback(&acc, 2.0, 3, 5, NR, &mut c, ldc);
         for r in 0..MR {
             for j in 0..ldc {
                 let expect = if r < 3 && j < 5 {
@@ -123,6 +267,64 @@ mod tests {
                     1.0
                 };
                 assert_eq!(c[r * ldc + j], expect, "r={r} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn writeback_handles_wide_tiles() {
+        // nr = 12 layout (the AVX2 tile width).
+        let nr = NR_AVX2;
+        let mut acc = vec![0.0; MR * nr];
+        for (i, v) in acc.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let ldc = 16;
+        let mut c = vec![0.5; MR * ldc];
+        writeback(&acc, 1.0, MR, nr, nr, &mut c, ldc);
+        for r in 0..MR {
+            for j in 0..nr {
+                assert_eq!(c[r * ldc + j], 0.5 + acc[r * nr + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_is_stable_and_available() {
+        let k = active_kernel();
+        assert!(k.available());
+        assert_eq!(k, active_kernel(), "dispatch must be cached, not re-rolled");
+        assert_eq!(k.mr(), MR);
+        assert!(k.nr() <= NR_MAX);
+        assert!(!k.name().is_empty());
+    }
+
+    #[test]
+    fn scalar_kernel_shape() {
+        assert_eq!(Microkernel::Scalar.mr(), 4);
+        assert_eq!(Microkernel::Scalar.nr(), 8);
+        assert!(Microkernel::Scalar.available());
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_kernel_shape() {
+        assert_eq!(Microkernel::Avx2.mr(), 4);
+        assert_eq!(Microkernel::Avx2.nr(), 12);
+        assert_eq!(Microkernel::Avx2.name(), "avx2-4x12");
+    }
+
+    #[test]
+    fn run_dispatches_scalar_variant() {
+        let kc = 3;
+        let a = vec![1.0; kc * MR];
+        let b = vec![2.0; kc * NR];
+        let mut acc = [0.0; ACC_LEN];
+        Microkernel::Scalar.run(kc, &a, &b, &mut acc);
+        let nr = Microkernel::Scalar.nr();
+        for r in 0..MR {
+            for c in 0..nr {
+                assert_eq!(acc[r * nr + c], 2.0 * kc as f64);
             }
         }
     }

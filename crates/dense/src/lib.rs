@@ -43,10 +43,14 @@ pub mod matrix;
 pub mod naive;
 pub mod pack;
 pub mod rng;
+#[cfg(target_arch = "x86_64")]
+pub mod simd;
 pub mod verify;
 
+pub use blocked::{BlockSizes, GemmWorkspace};
 pub use effmodel::EffModel;
-pub use gemm::{dgemm, dgemm_into, Op};
+pub use gemm::{dgemm, dgemm_into, dgemm_ws, Op};
+pub use kernel::{active_kernel, Microkernel};
 pub use matrix::{MatMut, MatRef, Matrix};
 pub use rng::Rng;
 pub use verify::{assert_close, max_abs_diff, rel_fro_error};

@@ -335,6 +335,13 @@ impl<'a> MatMut<'a> {
         &mut self.data[i * self.ld..i * self.ld + self.cols]
     }
 
+    /// Raw underlying storage (element `(i, j)` at `i * ld + j`), for
+    /// kernels that index with an explicit leading dimension.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        self.data
+    }
+
     /// Reborrow as an immutable view.
     pub fn as_ref(&self) -> MatRef<'_> {
         MatRef {

@@ -1,23 +1,28 @@
 //! Operand packing for the blocked kernel.
 //!
 //! GotoBLAS-style: before the macro-kernel runs, a panel of `op(A)` is
-//! repacked into contiguous `MR`-row slivers and a panel of `op(B)` into
-//! contiguous `NR`-column slivers, so the micro-kernel streams through
+//! repacked into contiguous `mr`-row slivers and a panel of `op(B)` into
+//! contiguous `nr`-column slivers, so the micro-kernel streams through
 //! memory with unit stride regardless of the caller's leading dimensions
 //! or transpose flags. Rows/columns beyond the matrix edge are padded
 //! with zeros so the micro-kernel never needs edge masks on its inputs.
+//!
+//! The sliver widths are parameters, not constants: the scalar kernel
+//! consumes `4 × 8` tiles and the AVX2 kernel `4 × 12` tiles (see
+//! [`crate::kernel::Microkernel`]), and the packing must match whichever
+//! kernel the enclosing [`crate::blocked::GemmWorkspace`] dispatches to.
 
 use crate::gemm::Op;
-use crate::kernel::{MR, NR};
 use crate::matrix::MatRef;
 
 /// Pack an `mc × kc` panel of `op(A)` (starting at logical row `i0`,
-/// logical column `l0` of `op(A)`) into `buf`.
+/// logical column `l0` of `op(A)`) into `buf`, as slivers of `mr` rows.
 ///
-/// Layout: slivers of `MR` rows; within a sliver, element order is
-/// `k`-major (`buf[sliver][k * MR + r]`), which is exactly the order the
+/// Layout: within a sliver, element order is `k`-major
+/// (`buf[sliver][k * mr + r]`), which is exactly the order the
 /// micro-kernel consumes. `buf.len()` must be at least
-/// `ceil(mc / MR) * MR * kc`.
+/// `ceil(mc / mr) * mr * kc`.
+#[allow(clippy::too_many_arguments)]
 pub fn pack_a(
     transa: Op,
     a: MatRef<'_>,
@@ -25,22 +30,23 @@ pub fn pack_a(
     l0: usize,
     mc: usize,
     kc: usize,
+    mr: usize,
     buf: &mut [f64],
 ) {
-    let slivers = mc.div_ceil(MR);
-    debug_assert!(buf.len() >= slivers * MR * kc);
+    let slivers = mc.div_ceil(mr);
+    debug_assert!(buf.len() >= slivers * mr * kc);
     for s in 0..slivers {
-        let row_base = i0 + s * MR;
-        let rows_here = MR.min(mc - s * MR);
-        let dst = &mut buf[s * MR * kc..(s + 1) * MR * kc];
+        let row_base = i0 + s * mr;
+        let rows_here = mr.min(mc - s * mr);
+        let dst = &mut buf[s * mr * kc..(s + 1) * mr * kc];
         match transa {
             Op::N => {
                 for k in 0..kc {
                     for r in 0..rows_here {
-                        dst[k * MR + r] = a.at(row_base + r, l0 + k);
+                        dst[k * mr + r] = a.at(row_base + r, l0 + k);
                     }
-                    for r in rows_here..MR {
-                        dst[k * MR + r] = 0.0;
+                    for r in rows_here..mr {
+                        dst[k * mr + r] = 0.0;
                     }
                 }
             }
@@ -49,10 +55,10 @@ pub fn pack_a(
                 for k in 0..kc {
                     let src_row = a.row(l0 + k);
                     for r in 0..rows_here {
-                        dst[k * MR + r] = src_row[row_base + r];
+                        dst[k * mr + r] = src_row[row_base + r];
                     }
-                    for r in rows_here..MR {
-                        dst[k * MR + r] = 0.0;
+                    for r in rows_here..mr {
+                        dst[k * mr + r] = 0.0;
                     }
                 }
             }
@@ -61,11 +67,13 @@ pub fn pack_a(
 }
 
 /// Pack a `kc × nc` panel of `op(B)` (starting at logical row `l0`,
-/// logical column `j0` of `op(B)`) into `buf`.
+/// logical column `j0` of `op(B)`) into `buf`, as slivers of `nr`
+/// columns.
 ///
-/// Layout: slivers of `NR` columns; within a sliver, element order is
-/// `k`-major (`buf[sliver][k * NR + c]`). `buf.len()` must be at least
-/// `ceil(nc / NR) * NR * kc`.
+/// Layout: within a sliver, element order is `k`-major
+/// (`buf[sliver][k * nr + c]`). `buf.len()` must be at least
+/// `ceil(nc / nr) * nr * kc`.
+#[allow(clippy::too_many_arguments)]
 pub fn pack_b(
     transb: Op,
     b: MatRef<'_>,
@@ -73,23 +81,24 @@ pub fn pack_b(
     j0: usize,
     kc: usize,
     nc: usize,
+    nr: usize,
     buf: &mut [f64],
 ) {
-    let slivers = nc.div_ceil(NR);
-    debug_assert!(buf.len() >= slivers * NR * kc);
+    let slivers = nc.div_ceil(nr);
+    debug_assert!(buf.len() >= slivers * nr * kc);
     for s in 0..slivers {
-        let col_base = j0 + s * NR;
-        let cols_here = NR.min(nc - s * NR);
-        let dst = &mut buf[s * NR * kc..(s + 1) * NR * kc];
+        let col_base = j0 + s * nr;
+        let cols_here = nr.min(nc - s * nr);
+        let dst = &mut buf[s * nr * kc..(s + 1) * nr * kc];
         match transb {
             Op::N => {
                 for k in 0..kc {
                     let src_row = b.row(l0 + k);
                     for c in 0..cols_here {
-                        dst[k * NR + c] = src_row[col_base + c];
+                        dst[k * nr + c] = src_row[col_base + c];
                     }
-                    for c in cols_here..NR {
-                        dst[k * NR + c] = 0.0;
+                    for c in cols_here..nr {
+                        dst[k * nr + c] = 0.0;
                     }
                 }
             }
@@ -97,10 +106,10 @@ pub fn pack_b(
                 // op(B)[k][j] = B[j][k]
                 for k in 0..kc {
                     for c in 0..cols_here {
-                        dst[k * NR + c] = b.at(col_base + c, l0 + k);
+                        dst[k * nr + c] = b.at(col_base + c, l0 + k);
                     }
-                    for c in cols_here..NR {
-                        dst[k * NR + c] = 0.0;
+                    for c in cols_here..nr {
+                        dst[k * nr + c] = 0.0;
                     }
                 }
             }
@@ -111,6 +120,7 @@ pub fn pack_b(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::{MR, NR};
     use crate::matrix::Matrix;
 
     fn op_at(m: &Matrix, trans: Op, i: usize, j: usize) -> f64 {
@@ -128,7 +138,7 @@ mod tests {
             let (mc, kc, i0, l0): (usize, usize, usize, usize) = (6, 5, 2, 3);
             let slivers = mc.div_ceil(MR);
             let mut buf = vec![f64::NAN; slivers * MR * kc];
-            pack_a(trans, stored.as_ref(), i0, l0, mc, kc, &mut buf);
+            pack_a(trans, stored.as_ref(), i0, l0, mc, kc, MR, &mut buf);
             for s in 0..slivers {
                 for k in 0..kc {
                     for r in 0..MR {
@@ -153,7 +163,7 @@ mod tests {
             let (kc, nc, l0, j0): (usize, usize, usize, usize) = (5, 10, 1, 1);
             let slivers = nc.div_ceil(NR);
             let mut buf = vec![f64::NAN; slivers * NR * kc];
-            pack_b(trans, stored.as_ref(), l0, j0, kc, nc, &mut buf);
+            pack_b(trans, stored.as_ref(), l0, j0, kc, nc, NR, &mut buf);
             for s in 0..slivers {
                 for k in 0..kc {
                     for c in 0..NR {
@@ -178,11 +188,31 @@ mod tests {
         let kc = 3;
         let slivers = mc.div_ceil(MR);
         let mut buf = vec![f64::NAN; slivers * MR * kc];
-        pack_a(Op::N, stored.as_ref(), 0, 0, mc, kc, &mut buf);
+        pack_a(Op::N, stored.as_ref(), 0, 0, mc, kc, MR, &mut buf);
         // Rows mc..slivers*MR must be zero, not NaN.
         for k in 0..kc {
             for r in mc..MR.min(slivers * MR) {
                 assert_eq!(buf[k * MR + r], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_wide_slivers() {
+        // nr = 12 (AVX2 tile width): ragged final sliver zero-padded.
+        let nr = crate::kernel::NR_AVX2;
+        let stored = Matrix::random(9, 17, 3);
+        let (kc, nc): (usize, usize) = (9, 17);
+        let slivers = nc.div_ceil(nr);
+        let mut buf = vec![f64::NAN; slivers * nr * kc];
+        pack_b(Op::N, stored.as_ref(), 0, 0, kc, nc, nr, &mut buf);
+        for s in 0..slivers {
+            for k in 0..kc {
+                for c in 0..nr {
+                    let col = s * nr + c;
+                    let expect = if col < nc { stored[(k, col)] } else { 0.0 };
+                    assert_eq!(buf[s * nr * kc + k * nr + c], expect);
+                }
             }
         }
     }

@@ -1,0 +1,117 @@
+//! The AVX2+FMA micro-kernel (`x86_64` only).
+//!
+//! A 4×12 register tiling of the packed-sliver product: twelve 256-bit
+//! accumulators (`4` rows × `3` vectors of four `f64`), three B loads
+//! and four A broadcasts per `k` step, twelve fused multiply-adds — all
+//! sixteen `ymm` registers accounted for. The packed layout is the same
+//! `k`-major sliver format the scalar kernel consumes, just `nr = 12`
+//! wide (see [`crate::pack`]), and the slivers are zero-padded at the
+//! edges, so no masked loads are ever needed.
+//!
+//! Everything here is `unsafe fn` + `#[target_feature]`: callers reach
+//! it through [`crate::kernel::Microkernel::run`], which guarantees the
+//! features were detected at dispatch time.
+
+use crate::kernel::{MR, NR_AVX2};
+use std::arch::x86_64::*;
+
+/// Vectors per accumulator row (`NR_AVX2 / 4` lanes of f64).
+const NV: usize = NR_AVX2 / 4;
+
+/// Accumulate `a_sliver · b_sliver` into the `MR × NR_AVX2` tile at the
+/// front of `acc` (element `(r, c)` at `r * NR_AVX2 + c`), with fused
+/// multiply-adds.
+///
+/// # Safety
+/// The caller must have verified `avx2` and `fma` are available on this
+/// host (e.g. via [`crate::kernel::Microkernel::available`]). Slice
+/// bounds are asserted.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn microkernel_avx2(kc: usize, a_sliver: &[f64], b_sliver: &[f64], acc: &mut [f64]) {
+    assert!(a_sliver.len() >= kc * MR);
+    assert!(b_sliver.len() >= kc * NR_AVX2);
+    assert!(acc.len() >= MR * NR_AVX2);
+
+    // Start from the caller's accumulator so the kernel keeps the same
+    // accumulate-in semantics as the scalar path.
+    let mut c: [[__m256d; NV]; MR] = [[_mm256_setzero_pd(); NV]; MR];
+    for (r, row) in c.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = _mm256_loadu_pd(acc.as_ptr().add(r * NR_AVX2 + j * 4));
+        }
+    }
+
+    let ap = a_sliver.as_ptr();
+    let bp = b_sliver.as_ptr();
+    for k in 0..kc {
+        let b0 = _mm256_loadu_pd(bp.add(k * NR_AVX2));
+        let b1 = _mm256_loadu_pd(bp.add(k * NR_AVX2 + 4));
+        let b2 = _mm256_loadu_pd(bp.add(k * NR_AVX2 + 8));
+        for (r, row) in c.iter_mut().enumerate() {
+            let av = _mm256_set1_pd(*ap.add(k * MR + r));
+            row[0] = _mm256_fmadd_pd(av, b0, row[0]);
+            row[1] = _mm256_fmadd_pd(av, b1, row[1]);
+            row[2] = _mm256_fmadd_pd(av, b2, row[2]);
+        }
+    }
+
+    for (r, row) in c.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            _mm256_storeu_pd(acc.as_mut_ptr().add(r * NR_AVX2 + j * 4), *v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Microkernel;
+
+    #[test]
+    fn avx2_matches_exact_integer_products() {
+        // Integer-valued inputs: FMA and mul+add round identically, so
+        // the comparison is exact.
+        if !Microkernel::Avx2.available() {
+            eprintln!("skipping: host lacks AVX2+FMA");
+            return;
+        }
+        let kc = 7;
+        let mut a = vec![0.0; kc * MR];
+        let mut b = vec![0.0; kc * NR_AVX2];
+        for k in 0..kc {
+            for r in 0..MR {
+                a[k * MR + r] = (r + 3 * k) as f64;
+            }
+            for c in 0..NR_AVX2 {
+                b[k * NR_AVX2 + c] = (c as f64) - 2.0 * (k as f64);
+            }
+        }
+        let mut acc = vec![1.0; MR * NR_AVX2];
+        unsafe { microkernel_avx2(kc, &a, &b, &mut acc) };
+        for r in 0..MR {
+            for c in 0..NR_AVX2 {
+                let mut expect = 1.0; // accumulate-in semantics
+                for k in 0..kc {
+                    expect += ((r + 3 * k) as f64) * ((c as f64) - 2.0 * (k as f64));
+                }
+                assert_eq!(acc[r * NR_AVX2 + c], expect, "r={r} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_accumulates_across_calls() {
+        if !Microkernel::Avx2.available() {
+            eprintln!("skipping: host lacks AVX2+FMA");
+            return;
+        }
+        let a = vec![1.0; MR];
+        let b = vec![1.0; NR_AVX2];
+        let mut acc = vec![0.0; MR * NR_AVX2];
+        unsafe {
+            microkernel_avx2(1, &a, &b, &mut acc);
+            microkernel_avx2(1, &a, &b, &mut acc);
+        }
+        assert!(acc.iter().all(|&v| v == 2.0));
+    }
+}

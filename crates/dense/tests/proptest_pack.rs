@@ -1,0 +1,211 @@
+//! Property-style tests for the operand packers (`pack_a` / `pack_b`),
+//! which were previously only exercised indirectly through
+//! `blocked_gemm`: sliver ordering, zero-padding at ragged edges, and
+//! transposed + strided source views, for both sliver widths in use
+//! (`nr = 8` scalar, `nr = 12` AVX2).
+//!
+//! Buffers are pre-filled with NaN so any cell the packer fails to
+//! write — padding it should have zeroed, elements it should have
+//! copied — poisons the comparison instead of passing by luck.
+
+use srumma_dense::gemm::Op;
+use srumma_dense::kernel::{MR, NR, NR_AVX2};
+use srumma_dense::pack::{pack_a, pack_b};
+use srumma_dense::{MatRef, Matrix, Rng};
+
+const CASES: u64 = 48;
+
+fn random_op(rng: &mut Rng) -> Op {
+    if rng.chance(0.5) {
+        Op::N
+    } else {
+        Op::T
+    }
+}
+
+/// `op(X)[i][j]` read through the view (the packers' input contract).
+fn op_at(v: MatRef<'_>, trans: Op, i: usize, j: usize) -> f64 {
+    match trans {
+        Op::N => v.at(i, j),
+        Op::T => v.at(j, i),
+    }
+}
+
+/// Every packed A cell equals the corresponding `op(A)` element (sliver
+/// ordering + k-major layout) or zero (edge padding past the panel).
+#[test]
+fn pack_a_slivers_match_logical_panel() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x00A0_9AC4_u64.wrapping_add(case));
+        let trans = random_op(&mut rng);
+        // Panel inside op(A), with a nonzero origin half the time.
+        let mc = rng.range(1, 20);
+        let kc = rng.range(1, 20);
+        let i0 = rng.range(0, 6);
+        let l0 = rng.range(0, 6);
+        // Stored shape of A so that op(A) covers (i0+mc) x (l0+kc).
+        let (vr, vc) = match trans {
+            Op::N => (i0 + mc, l0 + kc),
+            Op::T => (l0 + kc, i0 + mc),
+        };
+        // Strided view: the panel lives inside a larger allocation.
+        let pr = rng.range(0, 4);
+        let pc = rng.range(0, 4);
+        let big = Matrix::random(vr + pr + 2, vc + pc + 3, rng.next_u64());
+        let view = big.block(pr, pc, vr, vc);
+
+        let slivers = mc.div_ceil(MR);
+        let mut buf = vec![f64::NAN; slivers * MR * kc];
+        pack_a(trans, view, i0, l0, mc, kc, MR, &mut buf);
+
+        for s in 0..slivers {
+            for k in 0..kc {
+                for r in 0..MR {
+                    let got = buf[s * MR * kc + k * MR + r];
+                    let row = s * MR + r;
+                    let expect = if row < mc {
+                        op_at(view, trans, i0 + row, l0 + k)
+                    } else {
+                        0.0
+                    };
+                    assert!(
+                        got == expect,
+                        "case {case} trans={trans:?} s={s} k={k} r={r}: {got} != {expect}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Same contract for B, at both sliver widths (8 and 12).
+#[test]
+fn pack_b_slivers_match_logical_panel_both_widths() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x00B0_9ACC_u64.wrapping_add(case));
+        let trans = random_op(&mut rng);
+        let nr = if rng.chance(0.5) { NR } else { NR_AVX2 };
+        let kc = rng.range(1, 20);
+        let nc = rng.range(1, 30);
+        let l0 = rng.range(0, 6);
+        let j0 = rng.range(0, 6);
+        let (vr, vc) = match trans {
+            Op::N => (l0 + kc, j0 + nc),
+            Op::T => (j0 + nc, l0 + kc),
+        };
+        let pr = rng.range(0, 4);
+        let pc = rng.range(0, 4);
+        let big = Matrix::random(vr + pr + 1, vc + pc + 2, rng.next_u64());
+        let view = big.block(pr, pc, vr, vc);
+
+        let slivers = nc.div_ceil(nr);
+        let mut buf = vec![f64::NAN; slivers * nr * kc];
+        pack_b(trans, view, l0, j0, kc, nc, nr, &mut buf);
+
+        for s in 0..slivers {
+            for k in 0..kc {
+                for c in 0..nr {
+                    let got = buf[s * nr * kc + k * nr + c];
+                    let col = s * nr + c;
+                    let expect = if col < nc {
+                        op_at(view, trans, l0 + k, j0 + col)
+                    } else {
+                        0.0
+                    };
+                    assert!(
+                        got == expect,
+                        "case {case} trans={trans:?} nr={nr} s={s} k={k} c={c}: {got} != {expect}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Ragged final slivers are padded with real zeros even when the buffer
+/// arrives poisoned — the micro-kernel reads padding as data, so NaN or
+/// stale values there would corrupt C silently.
+#[test]
+fn ragged_edges_overwrite_poisoned_buffers_with_zeros() {
+    for &(dim, nr_opt) in &[
+        (1usize, None),
+        (MR + 1, None),
+        (NR + 3, Some(NR)),
+        (NR_AVX2 + 5, Some(NR_AVX2)),
+    ] {
+        // A side: mc not a multiple of MR.
+        let mc = dim;
+        let kc = 7;
+        let m = Matrix::random(mc, kc, 9);
+        let slivers = mc.div_ceil(MR);
+        let mut buf = vec![f64::NAN; slivers * MR * kc];
+        pack_a(Op::N, m.as_ref(), 0, 0, mc, kc, MR, &mut buf);
+        assert!(
+            buf.iter().all(|v| v.is_finite()),
+            "pack_a left NaN in a padded cell (mc={mc})"
+        );
+
+        // B side: nc not a multiple of nr.
+        if let Some(nr) = nr_opt {
+            let nc = dim;
+            let b = Matrix::random(kc, nc, 10);
+            let slivers = nc.div_ceil(nr);
+            let mut buf = vec![f64::NAN; slivers * nr * kc];
+            pack_b(Op::N, b.as_ref(), 0, 0, kc, nc, nr, &mut buf);
+            assert!(
+                buf.iter().all(|v| v.is_finite()),
+                "pack_b left NaN in a padded cell (nc={nc}, nr={nr})"
+            );
+        }
+    }
+}
+
+/// Packing a transposed view equals packing the materialized transpose:
+/// `op = T` over stored X must agree with `op = N` over `X^T`.
+#[test]
+fn transpose_flag_equals_materialized_transpose() {
+    for case in 0..CASES / 4 {
+        let mut rng = Rng::new(0x7A44_5050_u64.wrapping_add(case));
+        let rows = rng.range(3, 16);
+        let cols = rng.range(3, 16);
+        let stored = Matrix::random(rows, cols, rng.next_u64());
+        let materialized = stored.transposed();
+
+        // op(A) panel shape bounded by the transposed view: cols x rows.
+        let mc = rng.range(1, cols);
+        let kc = rng.range(1, rows);
+        let slivers = mc.div_ceil(MR);
+        let mut via_flag = vec![f64::NAN; slivers * MR * kc];
+        let mut via_copy = vec![f64::NAN; slivers * MR * kc];
+        pack_a(Op::T, stored.as_ref(), 0, 0, mc, kc, MR, &mut via_flag);
+        pack_a(
+            Op::N,
+            materialized.as_ref(),
+            0,
+            0,
+            mc,
+            kc,
+            MR,
+            &mut via_copy,
+        );
+        assert_eq!(via_flag, via_copy, "case {case}: pack_a T vs materialized");
+
+        let nc = rng.range(1, rows);
+        let kcb = rng.range(1, cols);
+        let slivers = nc.div_ceil(NR);
+        let mut via_flag = vec![f64::NAN; slivers * NR * kcb];
+        let mut via_copy = vec![f64::NAN; slivers * NR * kcb];
+        pack_b(Op::T, stored.as_ref(), 0, 0, kcb, nc, NR, &mut via_flag);
+        pack_b(
+            Op::N,
+            materialized.as_ref(),
+            0,
+            0,
+            kcb,
+            nc,
+            NR,
+            &mut via_copy,
+        );
+        assert_eq!(via_flag, via_copy, "case {case}: pack_b T vs materialized");
+    }
+}

@@ -1,0 +1,199 @@
+//! Differential tests: the AVX2+FMA micro-kernel against the portable
+//! scalar path, at both the micro-kernel level (randomized `kc` and
+//! sliver contents) and the full blocked-gemm level (workspace pinned
+//! to each kernel). Skips cleanly — with a note, not a failure — on
+//! hosts without AVX2+FMA.
+//!
+//! Tolerance notes: FMA contracts each multiply-add into one rounding,
+//! so float results are *not* bitwise equal to mul-then-add. For
+//! integer-valued inputs with small products every intermediate is
+//! exact in both schemes, giving a bitwise-identical oracle; for float
+//! inputs the comparison uses a tolerance scaled by the accumulation
+//! length.
+
+#![cfg(target_arch = "x86_64")]
+
+use srumma_dense::blocked::{blocked_gemm_ws, BlockSizes};
+use srumma_dense::kernel::{Microkernel, ACC_LEN, MR, NR_AVX2};
+use srumma_dense::{GemmWorkspace, Matrix, Op, Rng};
+
+fn avx2_or_skip() -> bool {
+    if Microkernel::Avx2.available() {
+        true
+    } else {
+        eprintln!("skipping: host lacks AVX2+FMA");
+        false
+    }
+}
+
+/// Reference accumulation for an `MR × NR_AVX2` tile, written as the
+/// plainest possible triple loop (mul then add — no FMA contraction in
+/// debug builds, and the test tolerance covers release-mode float
+/// differences).
+fn reference_tile(kc: usize, a: &[f64], b: &[f64], acc: &mut [f64]) {
+    for k in 0..kc {
+        for r in 0..MR {
+            for c in 0..NR_AVX2 {
+                acc[r * NR_AVX2 + c] += a[k * MR + r] * b[k * NR_AVX2 + c];
+            }
+        }
+    }
+}
+
+/// Integer-valued slivers: FMA rounding equals mul+add rounding because
+/// every product and partial sum is exactly representable — the
+/// comparison is bitwise.
+#[test]
+fn microkernel_exact_on_integer_inputs() {
+    if !avx2_or_skip() {
+        return;
+    }
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x51D1_FF01 + case);
+        let kc = rng.range(1, 40);
+        let mut a = vec![0.0; kc * MR];
+        let mut b = vec![0.0; kc * NR_AVX2];
+        for v in a.iter_mut() {
+            *v = rng.range(0, 32) as f64 - 16.0;
+        }
+        for v in b.iter_mut() {
+            *v = rng.range(0, 32) as f64 - 16.0;
+        }
+        let mut expect = vec![0.0; ACC_LEN];
+        let mut got = vec![0.0; ACC_LEN];
+        reference_tile(kc, &a, &b, &mut expect);
+        Microkernel::Avx2.run(kc, &a, &b, &mut got);
+        assert_eq!(got, expect, "case {case} kc={kc}: integer tile not exact");
+    }
+}
+
+/// Random float slivers: equal up to accumulation-order rounding. The
+/// bound scales with `kc` (each of the kc partial sums contributes at
+/// most one ulp-scale difference between the FMA and mul+add schemes).
+#[test]
+fn microkernel_tight_tolerance_on_float_inputs() {
+    if !avx2_or_skip() {
+        return;
+    }
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x51D1_FF02 + case);
+        let kc = rng.range(1, 96);
+        let mut a = vec![0.0; kc * MR];
+        let mut b = vec![0.0; kc * NR_AVX2];
+        for v in a.iter_mut() {
+            *v = rng.unit();
+        }
+        for v in b.iter_mut() {
+            *v = rng.unit();
+        }
+        // Start both accumulators from the same nonzero state to cover
+        // the accumulate-in path.
+        let mut expect = vec![0.25; ACC_LEN];
+        let mut got = expect.clone();
+        reference_tile(kc, &a, &b, &mut expect);
+        Microkernel::Avx2.run(kc, &a, &b, &mut got);
+        let tol = 1e-15 * kc as f64 + 1e-14;
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert!(
+                (g - e).abs() <= tol,
+                "case {case} kc={kc} acc[{i}]: {g} vs {e} (tol {tol:e})"
+            );
+        }
+    }
+}
+
+/// Full blocked gemm with an AVX2-pinned workspace against a
+/// scalar-pinned one, over randomized shapes, transposes and scalars —
+/// the end-to-end guarantee that kernel choice never changes results
+/// beyond rounding.
+#[test]
+fn blocked_gemm_avx2_matches_scalar_workspace() {
+    if !avx2_or_skip() {
+        return;
+    }
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0x51D1_FF03 + case);
+        let m = rng.range(1, 140);
+        let n = rng.range(1, 140);
+        let k = rng.range(1, 140);
+        let (ta, tb) = (
+            if rng.chance(0.5) { Op::N } else { Op::T },
+            if rng.chance(0.5) { Op::N } else { Op::T },
+        );
+        let alpha = rng.unit() * 2.0;
+        let beta = rng.unit();
+        let seed = rng.next_u64() % 1000;
+        let (ar, ac) = match ta {
+            Op::N => (m, k),
+            Op::T => (k, m),
+        };
+        let (br, bc) = match tb {
+            Op::N => (k, n),
+            Op::T => (n, k),
+        };
+        let a = Matrix::random(ar, ac, seed);
+        let b = Matrix::random(br, bc, seed + 1);
+        let c0 = Matrix::random(m, n, seed + 2);
+
+        // Deliberately small blocks on one side so sliver raggedness
+        // differs between the two runs too.
+        let mut ws_scalar =
+            GemmWorkspace::with_config(Microkernel::Scalar, BlockSizes::new(48, 64, 96));
+        let mut ws_avx2 = GemmWorkspace::with_kernel(Microkernel::Avx2);
+
+        let mut want = c0.clone();
+        blocked_gemm_ws(
+            ta,
+            tb,
+            alpha,
+            a.as_ref(),
+            b.as_ref(),
+            beta,
+            want.as_mut(),
+            &mut ws_scalar,
+        );
+        let mut got = c0.clone();
+        blocked_gemm_ws(
+            ta,
+            tb,
+            alpha,
+            a.as_ref(),
+            b.as_ref(),
+            beta,
+            got.as_mut(),
+            &mut ws_avx2,
+        );
+        let err = srumma_dense::max_abs_diff(&got, &want);
+        let tol = 1e-13 * k as f64 + 1e-12;
+        assert!(
+            err <= tol,
+            "case {case}: {m}x{n}x{k} {ta:?}{tb:?} err {err} > tol {tol}"
+        );
+    }
+}
+
+/// The AVX2 workspace also keeps the zero-steady-state-allocation
+/// guarantee: its packing buffers grow exactly once.
+#[test]
+fn avx2_workspace_reuses_buffers() {
+    if !avx2_or_skip() {
+        return;
+    }
+    let mut ws = GemmWorkspace::with_kernel(Microkernel::Avx2);
+    let a = Matrix::random(100, 80, 1);
+    let b = Matrix::random(80, 90, 2);
+    let mut c = Matrix::zeros(100, 90);
+    for _ in 0..3 {
+        blocked_gemm_ws(
+            Op::N,
+            Op::N,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+            &mut ws,
+        );
+        assert_eq!(ws.grow_count(), 1);
+    }
+}

@@ -17,6 +17,11 @@ for fig in fig03_pipeline fig07_overlap fig08_get_bandwidth; do
     cargo run --release -q -p srumma-bench --bin "$fig" >/dev/null
 done
 
+# Local kernel throughput (naive vs scalar vs dispatched SIMD) — the
+# compute half of the overlap story; diffable with scripts/bench_diff.
+echo "== bench_dense_gemm =="
+cargo run --release -q -p srumma-bench --bin bench_dense_gemm >/dev/null
+
 echo
 echo "reports:"
 ls -l results/BENCH_*.json

@@ -15,4 +15,21 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== cargo test (SIMD dispatch forced off) =="
+SRUMMA_KERNEL=scalar cargo test -q --workspace
+
+echo "== perf gate (soft): dense gemm kernel =="
+# Regenerate the kernel bench quickly and diff against the checked-in
+# baseline. Regressions WARN but do not fail CI: absolute GFLOP/s vary
+# across runner hardware, so this gate is advisory by design — read the
+# diff output when it trips.
+if [ -f results/BENCH_dense_gemm.json ]; then
+    cargo run --release -q -p srumma-bench --bin bench_dense_gemm -- \
+        --quick --out /tmp/BENCH_dense_gemm.json >/dev/null
+    ./scripts/bench_diff results/BENCH_dense_gemm.json /tmp/BENCH_dense_gemm.json --strict ||
+        echo "WARNING: dense gemm perf regressed vs checked-in baseline (soft gate, not fatal)"
+else
+    echo "no checked-in baseline (results/BENCH_dense_gemm.json); skipping"
+fi
+
 echo "CI green."
