@@ -1,0 +1,200 @@
+//! Executor scaling: thousands of SRUMMA ranks on a fixed worker pool
+//! versus one OS thread per rank.
+//!
+//! The paper ran one process per processor; studying SRUMMA's task
+//! ordering and pipeline behavior at 256–1024 "processors" on a
+//! laptop-class host means *oversubscription*, and the thread backend
+//! pays for it in spawn cost and scheduler convoys (hundreds of
+//! preempted threads piling into the closing barrier). The
+//! work-stealing executor runs the same ranks as polled state machines
+//! on `min(8, host cores)` workers. This bench sweeps the logical rank
+//! count at a fixed problem size and reports both backends' wall time
+//! plus the executor's scheduling metrics (steal rate, occupancy).
+//!
+//! Emits `results/BENCH_executor_scaling.json`; the checked-in baseline
+//! documents the crossover (executor ahead from 64 ranks on this class
+//! of host).
+//!
+//! Usage: `cargo run --release -p srumma-bench --bin
+//! bench_executor_scaling [-- --quick] [-- --smoke] [-- --out PATH]`
+//!
+//! `--smoke` runs the CI oversubscription check instead of the sweep:
+//! 128 ranks on 2 workers (SRUMMA as state machines, SUMMA on gated
+//! threads), verified against the serial kernel — a deadlock or
+//! mismatch fails fast.
+
+use srumma_bench::{fmt, print_table, write_bench_json};
+use srumma_core::driver::{multiply_exec, multiply_threads, serial_reference};
+use srumma_core::{Algorithm, GemmSpec};
+use srumma_dense::{max_abs_diff, Matrix};
+use srumma_trace::bench_report_json;
+use srumma_trace::json::JsonObject;
+
+struct Config {
+    quick: bool,
+    smoke: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        quick: false,
+        smoke: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cfg.quick = true,
+            "--smoke" => cfg.smoke = true,
+            "--out" => cfg.out = args.next(),
+            other => {
+                eprintln!("unknown arg {other:?} (expected --quick, --smoke, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
+fn worker_pool() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Best-of-samples wall seconds of `f`.
+fn best_of<F: FnMut() -> f64>(samples: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        best = best.min(f());
+    }
+    best
+}
+
+/// CI oversubscription smoke: correctness under heavy oversubscription,
+/// bounded runtime, loud failure. 128 ranks on 2 workers covers both
+/// scheduling modes (SRUMMA state machines park in the closing barrier;
+/// SUMMA's gated threads hand the worker loan around every broadcast).
+fn smoke() {
+    let nranks = 128;
+    let workers = 2;
+    let spec = GemmSpec::square(64);
+    let a = Matrix::random(spec.m, spec.k, 21);
+    let b = Matrix::random(spec.k, spec.n, 22);
+    let expect = serial_reference(&spec, &a, &b);
+    for alg in [Algorithm::srumma_default(), Algorithm::summa_default()] {
+        let (c, res) = multiply_exec(nranks, workers, &alg, &spec, &a, &b);
+        let diff = max_abs_diff(&c, &expect);
+        assert!(
+            diff < 1e-9,
+            "smoke: {} {nranks} ranks on {workers} workers: |diff|={diff:e}",
+            alg.name()
+        );
+        let exec = res.stats.exec.expect("executor stats present");
+        println!(
+            "smoke OK: {} x{nranks} on {workers} workers ({:.3}s, {} parks, steal rate {:.3})",
+            alg.name(),
+            res.wall_seconds,
+            exec.parks,
+            exec.steal_rate()
+        );
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    if cfg.smoke {
+        smoke();
+        return;
+    }
+
+    let workers = worker_pool();
+    let n = 256;
+    let spec = GemmSpec::square(n);
+    let a = Matrix::random(n, n, 31);
+    let b = Matrix::random(n, n, 32);
+    let samples = if cfg.quick { 2 } else { 3 };
+    let ranks: &[usize] = if cfg.quick {
+        &[8, 64, 256]
+    } else {
+        &[8, 16, 32, 64, 128, 256, 512, 1024]
+    };
+    let alg = Algorithm::srumma_default();
+
+    let mut metrics = JsonObject::new();
+    metrics.num("workers", workers as f64);
+    metrics.num("n", n as f64);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut worst_speedup_64plus = f64::INFINITY;
+
+    for &r in ranks {
+        // Warm both paths once (first-touch allocation, thread stacks).
+        let _ = multiply_threads(r, &alg, &spec, &a, &b);
+        let _ = multiply_exec(r, workers, &alg, &spec, &a, &b);
+
+        let t_threads = best_of(samples, || multiply_threads(r, &alg, &spec, &a, &b).1);
+        let mut steal_rate = 0.0;
+        let mut occupancy = 0.0;
+        let t_exec = best_of(samples, || {
+            let (_, res) = multiply_exec(r, workers, &alg, &spec, &a, &b);
+            let exec = res.stats.exec.expect("executor stats present");
+            steal_rate = exec.steal_rate();
+            occupancy = exec.occupancy();
+            res.wall_seconds
+        });
+        let speedup = t_threads / t_exec;
+        if r >= 64 {
+            worst_speedup_64plus = worst_speedup_64plus.min(speedup);
+        }
+
+        metrics.num(&format!("wall_threads_seconds_r{r}"), t_threads);
+        metrics.num(&format!("wall_exec_seconds_r{r}"), t_exec);
+        metrics.num(&format!("speedup_exec_over_threads_r{r}"), speedup);
+        metrics.num(&format!("exec_steal_rate_r{r}"), steal_rate);
+        metrics.num(&format!("exec_occupancy_r{r}"), occupancy);
+
+        rows.push(vec![
+            r.to_string(),
+            format!("{:.4}", t_threads * 1e3),
+            format!("{:.4}", t_exec * 1e3),
+            format!("{speedup:.2}x"),
+            fmt(steal_rate),
+            fmt(occupancy),
+        ]);
+        eprintln!(
+            "ranks {r:>5}: threads {:.2} ms, exec {:.2} ms ({speedup:.2}x)",
+            t_threads * 1e3,
+            t_exec * 1e3
+        );
+    }
+    if worst_speedup_64plus.is_finite() {
+        metrics.num("speedup_exec_over_threads_min_64plus", worst_speedup_64plus);
+    }
+
+    print_table(
+        &format!("executor vs thread-per-rank, n={n}, {workers} workers (best of {samples})"),
+        &[
+            "ranks",
+            "threads ms",
+            "exec ms",
+            "exec speedup",
+            "steal rate",
+            "occupancy",
+        ],
+        &rows,
+    );
+
+    let report = bench_report_json("executor_scaling", "host", "[]", &metrics.finish());
+    match &cfg.out {
+        Some(path) => match std::fs::write(path, &report) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => write_bench_json("executor_scaling", &report),
+    }
+}

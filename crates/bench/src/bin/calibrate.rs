@@ -1,9 +1,11 @@
 //! Calibration probe: check the machine profiles against the paper's
-//! anchor points (DESIGN.md §6), and sweep the host's gemm cache-block
-//! sizes (`--blocks`). Not a figure — a development tool.
+//! anchor points (DESIGN.md §6), sweep the host's gemm cache-block
+//! sizes (`--blocks`), and probe the work-stealing executor's worker
+//! count (`--workers`). Not a figure — a development tool.
 
 use srumma_bench::{fmt, pdgemm_best, srumma_gflops, srumma_stats};
-use srumma_core::GemmSpec;
+use srumma_core::driver::multiply_exec;
+use srumma_core::{Algorithm, GemmSpec};
 use srumma_dense::blocked::{blocked_gemm_ws, BlockSizes};
 use srumma_dense::{active_kernel, GemmWorkspace, Matrix, Op};
 use srumma_model::Machine;
@@ -68,9 +70,64 @@ fn probe_block_sizes() {
     );
 }
 
+/// Probe executor worker counts on this host: run an oversubscribed
+/// SRUMMA multiply (64 logical ranks) on pools of 1..8 workers and
+/// report wall time, occupancy and steal rate, so deployments can pick
+/// a ranks-per-worker ratio from evidence instead of guesswork.
+fn probe_workers() {
+    let nranks = 64;
+    let spec = GemmSpec::square(256);
+    let a = Matrix::random(spec.m, spec.k, 1);
+    let b = Matrix::random(spec.k, spec.n, 2);
+    let alg = Algorithm::srumma_default();
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "executor worker probe ({nranks} SRUMMA ranks, n={}, host cores {host}):",
+        spec.m
+    );
+    let mut best = (f64::INFINITY, 0usize);
+    for &workers in &[1usize, 2, 4, 8] {
+        let _ = multiply_exec(nranks, workers, &alg, &spec, &a, &b); // warm-up
+        let mut min = f64::INFINITY;
+        let mut occ = 0.0;
+        let mut steal = 0.0;
+        for _ in 0..3 {
+            let (_, res) = multiply_exec(nranks, workers, &alg, &spec, &a, &b);
+            if res.wall_seconds < min {
+                min = res.wall_seconds;
+                let e = res.stats.exec.expect("executor stats present");
+                occ = e.occupancy();
+                steal = e.steal_rate();
+            }
+        }
+        println!(
+            "  workers={workers:<2} {:>8.2} ms  occupancy {:>5} steal rate {:>5}  ({} ranks/worker)",
+            min * 1e3,
+            fmt(occ),
+            fmt(steal),
+            nranks / workers
+        );
+        if min < best.0 {
+            best = (min, workers);
+        }
+    }
+    println!(
+        "best: {} workers ({} ranks/worker) at {:.2} ms",
+        best.1,
+        nranks / best.1,
+        best.0 * 1e3
+    );
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--blocks") {
         probe_block_sizes();
+        return;
+    }
+    if std::env::args().any(|a| a == "--workers") {
+        probe_workers();
         return;
     }
     let t0 = std::time::Instant::now();

@@ -1,0 +1,210 @@
+//! A fixed-capacity Chase–Lev work-stealing deque over task ids.
+//!
+//! Each executor worker owns one deque: the owner pushes and pops new
+//! work at the *bottom* (LIFO, so a rank that yielded is resumed hot in
+//! cache), thieves take the oldest work from the *top* with a CAS. The
+//! memory-ordering discipline follows Lê/Pop/Cousot/Nardelli, "Correct
+//! and Efficient Work-Stealing for Weak Memory Models" (PPoPP'13).
+//!
+//! Two deliberate simplifications versus the general published
+//! structure, both possible because the executor knows its task
+//! population up front:
+//!
+//! * **No growth.** Capacity is fixed at construction to the next power
+//!   of two ≥ the total task count. A task id is enqueued in at most
+//!   one queue at a time, so the deque can never hold more than every
+//!   task at once — `push` on a full deque is therefore a logic error
+//!   and panics rather than reallocating (reallocation is where the
+//!   hard memory-reclamation problems of Chase–Lev live).
+//! * **Atomic cells.** Slots are `AtomicUsize`, so a racing steal reads
+//!   a stale *value* at worst (rejected by its CAS), never exhibits a
+//!   data race — the whole structure stays in safe Rust.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+
+/// Single-owner, multi-thief deque of `usize` task ids.
+pub struct WorkDeque {
+    /// Next steal position (oldest element).
+    top: AtomicIsize,
+    /// Next push position (one past the newest element).
+    bottom: AtomicIsize,
+    /// Power-of-two ring of task ids.
+    buf: Box<[AtomicUsize]>,
+    mask: usize,
+}
+
+impl WorkDeque {
+    /// A deque able to hold `capacity` ids (rounded up to a power of
+    /// two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        WorkDeque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buf: (0..cap).map(|_| AtomicUsize::new(0)).collect(),
+            mask: cap - 1,
+        }
+    }
+
+    /// Approximate occupancy (exact when called by the owner with no
+    /// concurrent steals).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque currently looks empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner-only: push `task` at the bottom.
+    pub fn push(&self, task: usize) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        assert!(
+            (b - t) as usize <= self.mask,
+            "work deque overflow: capacity {} sized below the task population",
+            self.mask + 1
+        );
+        self.buf[(b as usize) & self.mask].store(task, Ordering::Relaxed);
+        // Publish the slot before the new bottom becomes visible to
+        // thieves.
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Owner-only: pop the most recently pushed task, if any.
+    pub fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // The store above must be ordered before the top load: the
+        // owner claims the slot before looking at what thieves did.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: undo the reservation.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let task = self.buf[(b as usize) & self.mask].load(Ordering::Relaxed);
+        if t == b {
+            // Last element: race the thieves for it.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then_some(task);
+        }
+        Some(task)
+    }
+
+    /// Any thread: steal the oldest task, if any. Returns `None` both
+    /// when empty and when the CAS lost a race (callers retry on other
+    /// victims anyway).
+    pub fn steal(&self) -> Option<usize> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return None;
+        }
+        let task = self.buf[(t as usize) & self.mask].load(Ordering::Relaxed);
+        self.top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+            .then_some(task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thieves() {
+        let d = WorkDeque::new(8);
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.steal(), Some(1), "thief takes the oldest");
+        assert_eq!(d.pop(), Some(3), "owner takes the newest");
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn wraps_around_the_ring() {
+        let d = WorkDeque::new(4);
+        for round in 0..10 {
+            d.push(round * 2);
+            d.push(round * 2 + 1);
+            assert_eq!(d.steal(), Some(round * 2));
+            assert_eq!(d.pop(), Some(round * 2 + 1));
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "work deque overflow")]
+    fn overflow_is_a_panic_not_a_corruption() {
+        let d = WorkDeque::new(2);
+        for i in 0..3 {
+            d.push(i);
+        }
+    }
+
+    /// Hammer one owner (push/pop) against several thieves: every
+    /// pushed id must be consumed exactly once, none lost, none
+    /// duplicated.
+    #[test]
+    fn concurrent_steals_neither_lose_nor_duplicate() {
+        const N: usize = 20_000;
+        const THIEVES: usize = 3;
+        let d = WorkDeque::new(N);
+        let taken: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..THIEVES {
+                s.spawn(|| {
+                    let mut got = Vec::new();
+                    // Spin until the owner signals completion by
+                    // pushing the sentinel N (never a real id).
+                    loop {
+                        match d.steal() {
+                            Some(x) if x == N => break,
+                            Some(x) => got.push(x),
+                            None => std::hint::spin_loop(),
+                        }
+                    }
+                    d.push(N); // re-arm the sentinel for the next thief
+                    taken.lock().unwrap().extend(got);
+                });
+            }
+            let mut got = Vec::new();
+            for i in 0..N {
+                d.push(i);
+                if i % 3 == 0 {
+                    if let Some(x) = d.pop() {
+                        got.push(x);
+                    }
+                }
+            }
+            while let Some(x) = d.pop() {
+                got.push(x);
+            }
+            d.push(N); // sentinel: stops one thief, which re-arms it
+            taken.lock().unwrap().extend(got);
+        });
+        let all = taken.into_inner().unwrap();
+        let unique: HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(all.len(), N, "every id consumed exactly once");
+        assert_eq!(unique.len(), N, "no id duplicated");
+    }
+}

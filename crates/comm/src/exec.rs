@@ -1,0 +1,1016 @@
+//! The work-stealing rank executor: N logical ranks on W workers.
+//!
+//! `ThreadComm` spawns one OS thread per rank, which is faithful to the
+//! paper's machines but collapses when the rank count exceeds the host
+//! core count by orders of magnitude — exactly the oversubscribed
+//! regime (256 "processors" on a laptop) where SRUMMA's task ordering
+//! and prefetch pipeline are interesting to study. This backend
+//! multiplexes the ranks onto a fixed pool of worker threads instead:
+//!
+//! * each worker owns a [Chase–Lev deque](crate::deque::WorkDeque) of
+//!   runnable task ids and steals from its siblings when its own deque
+//!   runs dry;
+//! * ranks written as **resumable state machines** (the [`RankTask`]
+//!   trait — SRUMMA's task loop in `srumma-core` is one) are polled
+//!   directly on the workers: a barrier or message wait returns
+//!   [`Step::Park`] and costs a deque operation, not a blocked OS
+//!   thread, so thousands of ranks need only W threads in total;
+//! * ranks written in plain blocking style (SUMMA, Cannon — any
+//!   [`Comm`] closure) run on dedicated *gated* threads that execute
+//!   only while holding a worker's **loan**: every blocking point
+//!   inside [`ExecComm`] releases the loan and parks, so runnable
+//!   concurrency never exceeds W and the barrier convoy of hundreds of
+//!   preempted threads disappears.
+//!
+//! Scheduling itself is observable: steals, parks and resumes are
+//! counted (and traced as [`TraceKind::Sched`] events when tracing is
+//! on), and every run's [`RunStats`] carries an
+//! [`ExecStats`](srumma_trace::ExecStats) with the steal rate and
+//! worker-pool occupancy.
+//!
+//! A panicking rank poisons the whole executor, mirroring the
+//! thread backend's poison barrier: parked gated threads unwind with
+//! "executor poisoned", state machines are dropped, and the original
+//! panic payload is rethrown from the run entry point.
+
+use crate::comm::{Comm, GetHandle};
+use crate::deque::WorkDeque;
+use crate::dist::DistMatrix;
+use srumma_dense::{dgemm_ws, GemmWorkspace, MatMut, MatRef, Op};
+use srumma_model::Topology;
+use srumma_trace::{Counters, ExecStats, Recorder, RunStats, TraceEvent, TraceKind};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+type Payload = Box<dyn Any + Send + 'static>;
+/// One queued message: `(src, tag, data)`.
+type Mail = (usize, u64, Vec<f64>);
+/// Per-rank trace drainage: merged events plus `(rank, counters)`.
+type TraceBag = (Vec<TraceEvent>, Vec<(usize, Counters)>);
+
+/// What a state-machine rank task reports back from one `step` call.
+pub enum Step<T> {
+    /// The rank finished; `T` is its output.
+    Done(T),
+    /// More work immediately available: reschedule (the worker re-runs
+    /// it unless a thief takes it first).
+    Yield,
+    /// Blocked on an event (barrier, message). The task must already
+    /// have registered itself as a waiter — the matching wake-up
+    /// re-enqueues it; a wake that raced the park is detected and the
+    /// task is re-queued immediately.
+    Park,
+}
+
+/// A logical rank as a resumable state machine, polled on the worker
+/// pool instead of owning an OS thread. The task owns its [`ExecComm`]
+/// (built by [`exec_run_tasks`] and handed to the factory).
+pub trait RankTask: Send {
+    /// The rank's output (what the blocking closure would return).
+    type Out: Send;
+
+    /// Advance until done, a natural yield point, or a blocking
+    /// condition.
+    fn step(&mut self) -> Step<Self::Out>;
+
+    /// Drain trace events and counters after [`Step::Done`] (typically
+    /// forwarding to the owned `ExecComm`'s recorder).
+    fn take_trace(&mut self) -> (Vec<TraceEvent>, Counters) {
+        (Vec::new(), Counters::default())
+    }
+}
+
+/// Where a rank currently stands with the scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// In a deque or the injector, waiting for a worker.
+    Queued,
+    /// Being polled (FSM) or holding a worker's loan (gated thread).
+    Running,
+    /// Parked on an event; a wake moves it back to `Queued`.
+    Parked,
+}
+
+/// Per-task scheduler state (one per logical rank, both kinds).
+struct TaskSt {
+    phase: Phase,
+    /// A wake arrived while the task was not parked: consume it at the
+    /// next park attempt instead of sleeping through it.
+    pending_wake: bool,
+    /// Gated threads only: the loan has been granted / returned.
+    granted: bool,
+    returned: bool,
+    done: bool,
+}
+
+struct TaskCtl {
+    st: Mutex<TaskSt>,
+    /// The gated rank thread waits here for its loan.
+    gate: Condvar,
+    /// The lending worker waits here for the loan back.
+    loan: Condvar,
+}
+
+struct Global {
+    /// Woken tasks, consumed by any worker (wake-ups go here rather
+    /// than into a private deque so a parked worker can be notified).
+    injector: VecDeque<usize>,
+    /// Workers currently asleep on `work_cv`.
+    sleepers: usize,
+}
+
+struct BarrierSt {
+    count: usize,
+    generation: u64,
+    waiters: Vec<usize>,
+}
+
+/// Result of a barrier arrival.
+enum Arrive {
+    /// This rank completed the barrier; all waiters have been woken.
+    Passed,
+    /// Must wait for the given generation to pass.
+    Waiting(u64),
+}
+
+/// The shared scheduler: everything both `ExecComm` and the workers
+/// touch. Deliberately non-generic — the (output-typed) task storage
+/// lives with the run entry points.
+struct SchedCore {
+    nranks: usize,
+    workers: usize,
+    trace: bool,
+    t0: Instant,
+    global: Mutex<Global>,
+    work_cv: Condvar,
+    deques: Vec<WorkDeque>,
+    tasks: Vec<TaskCtl>,
+    barrier: Mutex<BarrierSt>,
+    /// Per-destination mailboxes (send scans are per-`src` FIFO).
+    mail: Vec<Mutex<VecDeque<Mail>>>,
+    remaining: AtomicUsize,
+    poisoned: AtomicBool,
+    payload: Mutex<Option<Payload>>,
+    // Scheduling counters (always on; they are a handful of relaxed
+    // adds per scheduling decision).
+    local_pops: AtomicU64,
+    steals: AtomicU64,
+    injector_pops: AtomicU64,
+    parks: AtomicU64,
+    worker_parks: AtomicU64,
+    /// Worker-side `Sched` trace events, merged into the run trace.
+    sched_events: Mutex<Vec<TraceEvent>>,
+}
+
+/// Lock tolerating mutex poisoning: a panicking rank must still be able
+/// to poison the executor, and survivors must be able to observe it.
+fn relock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl SchedCore {
+    fn new(nranks: usize, workers: usize, trace: bool) -> Arc<Self> {
+        Arc::new(SchedCore {
+            nranks,
+            workers,
+            trace,
+            t0: Instant::now(),
+            global: Mutex::new(Global {
+                injector: VecDeque::new(),
+                sleepers: 0,
+            }),
+            work_cv: Condvar::new(),
+            deques: (0..workers).map(|_| WorkDeque::new(nranks + 1)).collect(),
+            tasks: (0..nranks)
+                .map(|_| TaskCtl {
+                    st: Mutex::new(TaskSt {
+                        phase: Phase::Queued,
+                        pending_wake: false,
+                        granted: false,
+                        returned: false,
+                        done: false,
+                    }),
+                    gate: Condvar::new(),
+                    loan: Condvar::new(),
+                })
+                .collect(),
+            barrier: Mutex::new(BarrierSt {
+                count: 0,
+                generation: 0,
+                waiters: Vec::new(),
+            }),
+            mail: (0..nranks).map(|_| Mutex::new(VecDeque::new())).collect(),
+            remaining: AtomicUsize::new(nranks),
+            poisoned: AtomicBool::new(false),
+            payload: Mutex::new(None),
+            local_pops: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            injector_pops: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            worker_parks: AtomicU64::new(0),
+            sched_events: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn now(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Record the first panic payload, raise the poison flag, and wake
+    /// every parked thread so the run unwinds instead of hanging.
+    fn poison(&self, p: Payload) {
+        {
+            let mut slot = relock(&self.payload);
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        }
+        self.poisoned.store(true, Ordering::SeqCst);
+        {
+            let _g = relock(&self.global);
+            self.work_cv.notify_all();
+        }
+        for t in &self.tasks {
+            let _st = relock(&t.st);
+            t.gate.notify_all();
+            t.loan.notify_all();
+        }
+    }
+
+    /// Push a runnable task where any worker can find it, waking a
+    /// sleeper if there is one.
+    fn inject(&self, id: usize) {
+        let mut g = relock(&self.global);
+        g.injector.push_back(id);
+        if g.sleepers > 0 {
+            self.work_cv.notify_one();
+        }
+    }
+
+    /// Deliver a wake-up to `id`: re-enqueue it if parked, otherwise
+    /// remember the wake so the task's next park attempt consumes it
+    /// (the classic lost-wakeup guard).
+    fn wake(&self, id: usize) {
+        let mut st = relock(&self.tasks[id].st);
+        if st.done {
+            return;
+        }
+        if st.phase == Phase::Parked {
+            st.phase = Phase::Queued;
+            drop(st);
+            self.inject(id);
+        } else {
+            st.pending_wake = true;
+        }
+    }
+
+    /// Mark `id` finished and, when it was the last, wake everyone so
+    /// the workers can exit.
+    fn task_done(&self, id: usize) {
+        relock(&self.tasks[id].st).done = true;
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = relock(&self.global);
+            self.work_cv.notify_all();
+        }
+    }
+
+    // ---- gated-thread loan protocol ---------------------------------
+
+    /// Rank-thread side: block until a worker grants the run loan.
+    /// Panics (unwinding the rank thread) when the executor has been
+    /// poisoned — this is how a panic elsewhere releases parked peers.
+    fn gate_wait_grant(&self, id: usize) {
+        let mut st = relock(&self.tasks[id].st);
+        loop {
+            if self.is_poisoned() {
+                drop(st);
+                panic!("executor poisoned: another rank panicked");
+            }
+            if st.granted {
+                st.granted = false;
+                st.phase = Phase::Running;
+                return;
+            }
+            st = self.tasks[id]
+                .gate
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Rank-thread side: hand the loan back to the lending worker
+    /// (on completion or before parking).
+    fn gate_release(&self, id: usize) {
+        let mut st = relock(&self.tasks[id].st);
+        st.returned = true;
+        self.tasks[id].loan.notify_all();
+    }
+
+    /// Rank-thread side: park until woken. If a wake already raced in,
+    /// the loan is kept and the caller simply re-checks its condition.
+    fn gate_park(&self, id: usize) {
+        {
+            let mut st = relock(&self.tasks[id].st);
+            if st.pending_wake {
+                st.pending_wake = false;
+                return;
+            }
+            st.phase = Phase::Parked;
+            st.returned = true;
+            self.tasks[id].loan.notify_all();
+        }
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        self.gate_wait_grant(id);
+    }
+
+    /// Worker side: grant the loan to gated task `id` and sleep until
+    /// it comes back (the rank thread blocked or finished). The worker
+    /// slot counts as busy for the whole loan — that thread *is* the
+    /// slot's work.
+    fn grant_and_lend(&self, id: usize) {
+        let mut st = relock(&self.tasks[id].st);
+        if st.done {
+            return; // stale queue entry for a finished rank
+        }
+        st.phase = Phase::Running;
+        st.granted = true;
+        st.returned = false;
+        self.tasks[id].gate.notify_all();
+        while !st.returned && !self.is_poisoned() {
+            st = self.tasks[id]
+                .loan
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    // ---- barrier ----------------------------------------------------
+
+    fn barrier_arrive(&self, id: usize) -> Arrive {
+        let mut b = relock(&self.barrier);
+        b.count += 1;
+        if b.count == self.nranks {
+            b.count = 0;
+            b.generation += 1;
+            let waiters = std::mem::take(&mut b.waiters);
+            drop(b);
+            for w in waiters {
+                self.wake(w);
+            }
+            Arrive::Passed
+        } else {
+            b.waiters.push(id);
+            Arrive::Waiting(b.generation)
+        }
+    }
+
+    fn barrier_generation(&self) -> u64 {
+        relock(&self.barrier).generation
+    }
+
+    // ---- mailboxes --------------------------------------------------
+
+    fn mail_send(&self, dst: usize, src: usize, tag: u64, data: Vec<f64>) {
+        relock(&self.mail[dst]).push_back((src, tag, data));
+        self.wake(dst);
+    }
+
+    /// Take the oldest message from `src`, if any (per-edge FIFO).
+    fn mail_recv(&self, dst: usize, src: usize) -> Option<(u64, Vec<f64>)> {
+        let mut q = relock(&self.mail[dst]);
+        let pos = q.iter().position(|m| m.0 == src)?;
+        let (_, tag, data) = q.remove(pos).expect("position came from this queue");
+        Some((tag, data))
+    }
+
+    /// Record an instantaneous scheduling marker into the worker-side
+    /// event stream (tracing runs only).
+    fn sched_event(&self, local: &mut Vec<TraceEvent>, rank: usize, label: String) {
+        if self.trace {
+            let t = self.now();
+            local.push(TraceEvent {
+                rank,
+                t0: t,
+                t1: t,
+                kind: TraceKind::Sched,
+                label,
+                bytes: 0,
+            });
+        }
+    }
+}
+
+// ---- the per-rank communicator -------------------------------------
+
+/// How this `ExecComm`'s rank is scheduled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TaskMode {
+    /// Dedicated thread, loan-gated at blocking points.
+    Gate,
+    /// State machine polled on the workers ([`RankTask`]).
+    Fsm,
+}
+
+/// Per-rank communicator on the work-stealing executor. Shares the
+/// thread backend's data model — one cacheable shared-memory domain,
+/// eager memcpy gets, wall-clock time — but its blocking points
+/// cooperate with the scheduler instead of blocking an OS thread.
+pub struct ExecComm {
+    rank: usize,
+    nranks: usize,
+    mode: TaskMode,
+    core: Arc<SchedCore>,
+    recorder: Recorder,
+    ws: GemmWorkspace,
+    /// Split-barrier bookkeeping for FSM ranks: generation awaited and
+    /// the span start time.
+    arrived: Option<(u64, f64)>,
+}
+
+impl ExecComm {
+    fn new(core: Arc<SchedCore>, rank: usize, mode: TaskMode) -> Self {
+        let trace = core.trace;
+        ExecComm {
+            rank,
+            nranks: core.nranks,
+            mode,
+            core,
+            recorder: Recorder::new(rank, trace),
+            ws: GemmWorkspace::new(),
+            arrived: None,
+        }
+    }
+
+    #[inline]
+    fn span_start(&self) -> f64 {
+        if self.recorder.is_enabled() {
+            self.core.now()
+        } else {
+            0.0
+        }
+    }
+
+    #[inline]
+    fn span_end<F: FnOnce() -> String>(&mut self, kind: TraceKind, t0: f64, bytes: u64, label: F) {
+        if self.recorder.is_enabled() {
+            let t1 = self.core.now();
+            self.recorder.span(kind, t0, t1, bytes, label);
+        }
+    }
+
+    /// Record that this rank is about to park (tracing runs only).
+    fn mark_park(&mut self) {
+        if self.recorder.is_enabled() {
+            let t = self.core.now();
+            self.recorder
+                .span(TraceKind::Sched, t, t, 0, || "park".to_string());
+        }
+    }
+
+    /// Nonblocking barrier for state-machine ranks: arrive on the first
+    /// call, then poll. Returns `true` once the barrier has passed —
+    /// until then the caller should return [`Step::Park`] (the arrival
+    /// registered it as a waiter).
+    pub fn barrier_try(&mut self) -> bool {
+        match self.arrived {
+            Some((gen, t0)) => {
+                if self.core.barrier_generation() > gen {
+                    self.arrived = None;
+                    self.span_end(TraceKind::Barrier, t0, 0, String::new);
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                let t0 = self.span_start();
+                match self.core.barrier_arrive(self.rank) {
+                    Arrive::Passed => {
+                        self.span_end(TraceKind::Barrier, t0, 0, String::new);
+                        true
+                    }
+                    Arrive::Waiting(gen) => {
+                        self.arrived = Some((gen, t0));
+                        self.mark_park();
+                        false
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain recorded events and counters (run teardown).
+    fn take_trace(&mut self) -> (Vec<TraceEvent>, Counters) {
+        self.recorder.take()
+    }
+}
+
+impl Comm for ExecComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    fn topology(&self) -> Topology {
+        Topology::single_domain(self.nranks)
+    }
+
+    fn prefer_direct_access(&self, _owner: usize) -> bool {
+        // Host shared memory is cacheable, as on the thread backend.
+        true
+    }
+
+    fn now(&self) -> f64 {
+        self.core.now()
+    }
+
+    fn recorder(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
+    fn barrier(&mut self) {
+        let t0 = self.span_start();
+        match self.mode {
+            TaskMode::Fsm => panic!(
+                "state-machine rank tasks must use ExecComm::barrier_try and Step::Park, \
+                 not the blocking Comm::barrier"
+            ),
+            TaskMode::Gate => match self.core.barrier_arrive(self.rank) {
+                Arrive::Passed => {}
+                Arrive::Waiting(gen) => loop {
+                    self.mark_park();
+                    self.core.gate_park(self.rank);
+                    if self.core.barrier_generation() > gen {
+                        break;
+                    }
+                },
+            },
+        }
+        self.span_end(TraceKind::Barrier, t0, 0, String::new);
+    }
+
+    fn nbget(&mut self, mat: &DistMatrix, owner: usize, buf: &mut Vec<f64>) -> GetHandle {
+        let t0 = self.span_start();
+        let (rows, cols) = mat.copy_block_into(owner, buf);
+        let bytes = (rows * cols * 8) as u64;
+        self.recorder.count_fetch(bytes);
+        self.span_end(TraceKind::Transfer, t0, bytes, || format!("get<-{owner}"));
+        GetHandle::Ready
+    }
+
+    fn wait(&mut self, h: GetHandle) {
+        match h {
+            GetHandle::Ready => {}
+            GetHandle::Sim(_) => unreachable!("executor backend issues no simulated transfers"),
+        }
+    }
+
+    fn nbput(&mut self, mat: &DistMatrix, owner: usize, data: &[f64]) -> GetHandle {
+        let t0 = self.span_start();
+        mat.copy_block_from(owner, data);
+        let bytes = mat.block_bytes(owner);
+        self.span_end(TraceKind::Transfer, t0, bytes, || format!("put->{owner}"));
+        GetHandle::Ready
+    }
+
+    fn acc(&mut self, mat: &DistMatrix, owner: usize, scale: f64, data: &[f64]) {
+        let t0 = self.span_start();
+        mat.acc_block_from(owner, scale, data);
+        let bytes = mat.block_bytes(owner);
+        self.span_end(TraceKind::Transfer, t0, bytes, || format!("acc->{owner}"));
+    }
+
+    fn fence(&mut self) {
+        // Data movement is eager: already complete at the target.
+    }
+
+    fn gemm(
+        &mut self,
+        ta: Op,
+        tb: Op,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        a: Option<MatRef<'_>>,
+        b: Option<MatRef<'_>>,
+        c: Option<MatMut<'_>>,
+        _direct: bool,
+        label: &str,
+    ) {
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let (Some(a), Some(b), Some(c)) = (a, b, c) else {
+            panic!("executor backend requires real-backed matrices ({m}x{n}x{k} block had none)");
+        };
+        let t0 = self.span_start();
+        dgemm_ws(ta, tb, alpha, a, b, 1.0, c, &mut self.ws);
+        self.span_end(TraceKind::Compute, t0, 0, || label.to_string());
+    }
+
+    fn send(&mut self, dst: usize, tag: u64, data: &[f64], _bytes: u64) {
+        self.core.mail_send(dst, self.rank, tag, data.to_vec());
+    }
+
+    fn recv(&mut self, src: usize, tag: u64, buf: &mut Vec<f64>, _bytes: u64) {
+        let t0 = self.span_start();
+        loop {
+            if let Some((got_tag, payload)) = self.core.mail_recv(self.rank, src) {
+                assert_eq!(
+                    got_tag, tag,
+                    "tag mismatch receiving from {src}: expected {tag}, got {got_tag}"
+                );
+                *buf = payload;
+                break;
+            }
+            match self.mode {
+                TaskMode::Gate => {
+                    self.mark_park();
+                    self.core.gate_park(self.rank);
+                }
+                TaskMode::Fsm => panic!(
+                    "state-machine rank tasks must not call the blocking Comm::recv \
+                     (no message-passing algorithm runs as an FSM yet)"
+                ),
+            }
+        }
+        self.span_end(TraceKind::Wait, t0, 0, || format!("recv<-{src}"));
+    }
+
+    fn sendrecv(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        send_data: &[f64],
+        send_bytes: u64,
+        src: usize,
+        recv_buf: &mut Vec<f64>,
+        recv_bytes: u64,
+    ) {
+        // Mailboxes are buffered: send first, then receive — no deadlock.
+        self.send(dst, tag, send_data, send_bytes);
+        self.recv(src, tag, recv_buf, recv_bytes);
+    }
+}
+
+// ---- worker pool ----------------------------------------------------
+
+/// Task storage for one run: either a pollable state machine or a
+/// marker that a dedicated gated thread embodies the rank.
+enum TaskSlot<'env, T> {
+    Fsm(Mutex<Option<Box<dyn RankTask<Out = T> + Send + 'env>>>),
+    Gate,
+}
+
+/// Pick the next task: own deque first (LIFO, cache-hot), then the
+/// injector (fresh wake-ups), then steal from siblings.
+fn find_work(core: &SchedCore, me: usize, events: &mut Vec<TraceEvent>) -> Option<usize> {
+    if let Some(id) = core.deques[me].pop() {
+        core.local_pops.fetch_add(1, Ordering::Relaxed);
+        return Some(id);
+    }
+    {
+        let mut g = relock(&core.global);
+        if let Some(id) = g.injector.pop_front() {
+            drop(g);
+            core.injector_pops.fetch_add(1, Ordering::Relaxed);
+            core.sched_event(events, id, format!("resume w{me}"));
+            return Some(id);
+        }
+    }
+    for off in 1..core.workers {
+        let victim = (me + off) % core.workers;
+        if let Some(id) = core.deques[victim].steal() {
+            core.steals.fetch_add(1, Ordering::Relaxed);
+            core.sched_event(events, id, format!("steal w{me}<-w{victim}"));
+            return Some(id);
+        }
+    }
+    None
+}
+
+/// Sleep until work may exist again. Returns `false` when the run is
+/// over (all tasks done, or poisoned).
+fn park_worker(core: &SchedCore) -> bool {
+    let mut g = relock(&core.global);
+    loop {
+        if core.is_poisoned() || core.remaining.load(Ordering::SeqCst) == 0 {
+            return false;
+        }
+        if !g.injector.is_empty() || core.deques.iter().any(|d| !d.is_empty()) {
+            return true;
+        }
+        core.worker_parks.fetch_add(1, Ordering::Relaxed);
+        g.sleepers += 1;
+        g = core.work_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        g.sleepers -= 1;
+    }
+}
+
+/// Run one scheduled task id: poll an FSM or lend the slot to a gated
+/// thread.
+fn run_one<'env, T: Send>(
+    core: &SchedCore,
+    slots: &[TaskSlot<'env, T>],
+    outputs: &[Mutex<Option<T>>],
+    collect: &Mutex<TraceBag>,
+    me: usize,
+    id: usize,
+    events: &mut Vec<TraceEvent>,
+) {
+    match &slots[id] {
+        TaskSlot::Gate => core.grant_and_lend(id),
+        TaskSlot::Fsm(cell) => {
+            let Some(mut task) = relock(cell).take() else {
+                return; // stale queue entry for a finished rank
+            };
+            relock(&core.tasks[id].st).phase = Phase::Running;
+            match catch_unwind(AssertUnwindSafe(|| task.step())) {
+                Err(p) => {
+                    drop(task);
+                    core.poison(p);
+                }
+                Ok(Step::Done(out)) => {
+                    let (ev, ctr) = task.take_trace();
+                    {
+                        let mut bag = relock(collect);
+                        bag.0.extend(ev);
+                        bag.1.push((id, ctr));
+                    }
+                    *relock(&outputs[id]) = Some(out);
+                    core.task_done(id);
+                }
+                Ok(Step::Yield) => {
+                    // The box must be back in its cell before the id is
+                    // visible in any queue (a thief may run it at once).
+                    *relock(cell) = Some(task);
+                    {
+                        let mut st = relock(&core.tasks[id].st);
+                        st.pending_wake = false;
+                        st.phase = Phase::Queued;
+                    }
+                    core.deques[me].push(id);
+                }
+                Ok(Step::Park) => {
+                    *relock(cell) = Some(task);
+                    let mut st = relock(&core.tasks[id].st);
+                    if st.pending_wake {
+                        // The wake raced the park: requeue immediately.
+                        st.pending_wake = false;
+                        st.phase = Phase::Queued;
+                        drop(st);
+                        core.deques[me].push(id);
+                    } else {
+                        st.phase = Phase::Parked;
+                        drop(st);
+                        core.parks.fetch_add(1, Ordering::Relaxed);
+                        core.sched_event(events, id, format!("park w{me}"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One worker thread's life. Returns its busy seconds (time spent
+/// running tasks or lending its slot to a gated thread).
+fn worker_loop<'env, T: Send>(
+    core: &SchedCore,
+    slots: &[TaskSlot<'env, T>],
+    outputs: &[Mutex<Option<T>>],
+    collect: &Mutex<TraceBag>,
+    me: usize,
+) -> f64 {
+    let mut busy = 0.0;
+    let mut events: Vec<TraceEvent> = Vec::new();
+    loop {
+        if core.is_poisoned() {
+            break;
+        }
+        let Some(id) = find_work(core, me, &mut events) else {
+            if park_worker(core) {
+                continue;
+            }
+            break;
+        };
+        let t = Instant::now();
+        run_one(core, slots, outputs, collect, me, id, &mut events);
+        busy += t.elapsed().as_secs_f64();
+    }
+    if !events.is_empty() {
+        relock(&core.sched_events).extend(events);
+    }
+    busy
+}
+
+// ---- run entry points -----------------------------------------------
+
+/// Result of an executor run (mirrors `ThreadRunResult`).
+#[derive(Debug)]
+pub struct ExecRunResult<T> {
+    /// Per-rank outputs.
+    pub outputs: Vec<T>,
+    /// Wall-clock duration of the parallel section (seconds).
+    pub wall_seconds: f64,
+    /// Recorded trace events (empty unless traced), merged across ranks
+    /// and workers, sorted by start time.
+    pub trace: Vec<TraceEvent>,
+    /// Derived metrics; `stats.exec` always carries the scheduling
+    /// counters (steal rate, occupancy) for executor runs.
+    pub stats: RunStats,
+}
+
+fn assemble<T>(
+    core: &Arc<SchedCore>,
+    outputs: Vec<Mutex<Option<T>>>,
+    collect: Mutex<TraceBag>,
+    busy: Vec<f64>,
+    wall_seconds: f64,
+) -> ExecRunResult<T> {
+    if let Some(p) = relock(&core.payload).take() {
+        resume_unwind(p);
+    }
+    let (mut events, counters) = collect.into_inner().unwrap_or_else(|e| e.into_inner());
+    events.extend(relock(&core.sched_events).drain(..));
+    events.sort_by(|a, b| a.t0.total_cmp(&b.t0).then(a.rank.cmp(&b.rank)));
+    let mut stats = RunStats::from_events(core.nranks, &events);
+    for (rank, ctr) in &counters {
+        let rs = &mut stats.ranks[*rank];
+        rs.bytes_shm = ctr.bytes_fetched;
+        rs.transfers = ctr.blocks_fetched;
+        rs.absorb_counters(ctr);
+    }
+    stats.exec = Some(ExecStats {
+        workers: core.workers,
+        local_pops: core.local_pops.load(Ordering::Relaxed),
+        steals: core.steals.load(Ordering::Relaxed),
+        injector_pops: core.injector_pops.load(Ordering::Relaxed),
+        parks: core.parks.load(Ordering::Relaxed),
+        worker_parks: core.worker_parks.load(Ordering::Relaxed),
+        busy_seconds: busy.iter().sum(),
+        wall_seconds,
+    });
+    if stats.makespan == 0.0 {
+        stats.makespan = wall_seconds;
+    }
+    let outputs = outputs
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every rank completed (run was not poisoned)")
+        })
+        .collect();
+    ExecRunResult {
+        outputs,
+        wall_seconds,
+        trace: events,
+        stats,
+    }
+}
+
+/// Seed the worker deques round-robin with all task ids.
+fn seed(core: &SchedCore) {
+    for id in 0..core.nranks {
+        core.deques[id % core.workers].push(id);
+    }
+}
+
+/// Run `body` once per rank on the executor: every rank gets a
+/// dedicated thread, but only `workers` of them run at any moment — a
+/// blocking point inside hands the worker slot to another rank instead
+/// of convoying the OS scheduler. Tracing off.
+pub fn exec_run<T, F>(nranks: usize, workers: usize, body: F) -> ExecRunResult<T>
+where
+    T: Send,
+    F: Fn(&mut ExecComm) -> T + Sync,
+{
+    exec_run_gated(nranks, workers, false, body)
+}
+
+/// [`exec_run`] with wall-clock event tracing (plus `Sched` steal /
+/// park / resume markers).
+pub fn exec_run_traced<T, F>(nranks: usize, workers: usize, body: F) -> ExecRunResult<T>
+where
+    T: Send,
+    F: Fn(&mut ExecComm) -> T + Sync,
+{
+    exec_run_gated(nranks, workers, true, body)
+}
+
+fn exec_run_gated<T, F>(nranks: usize, workers: usize, trace: bool, body: F) -> ExecRunResult<T>
+where
+    T: Send,
+    F: Fn(&mut ExecComm) -> T + Sync,
+{
+    assert!(nranks > 0);
+    let workers = workers.clamp(1, nranks);
+    let core = SchedCore::new(nranks, workers, trace);
+    seed(&core);
+    let slots: Vec<TaskSlot<'_, T>> = (0..nranks).map(|_| TaskSlot::Gate).collect();
+    let outputs: Vec<Mutex<Option<T>>> = (0..nranks).map(|_| Mutex::new(None)).collect();
+    let collect: Mutex<TraceBag> = Mutex::new((Vec::new(), Vec::new()));
+    let mut busy = vec![0.0f64; workers];
+    let t_run = Instant::now();
+    std::thread::scope(|scope| {
+        for rank in 0..nranks {
+            let core = Arc::clone(&core);
+            let body = &body;
+            let outputs = &outputs;
+            let collect = &collect;
+            scope.spawn(move || {
+                let mut comm = ExecComm::new(Arc::clone(&core), rank, TaskMode::Gate);
+                let res = catch_unwind(AssertUnwindSafe(|| {
+                    core.gate_wait_grant(rank);
+                    body(&mut comm)
+                }));
+                match res {
+                    Ok(v) => {
+                        let (ev, ctr) = comm.take_trace();
+                        {
+                            let mut bag = relock(collect);
+                            bag.0.extend(ev);
+                            bag.1.push((rank, ctr));
+                        }
+                        *relock(&outputs[rank]) = Some(v);
+                        core.task_done(rank);
+                        core.gate_release(rank);
+                    }
+                    Err(p) => {
+                        // Return the loan so the lending worker resumes,
+                        // then poison (first payload wins — secondary
+                        // "executor poisoned" panics never overwrite the
+                        // original).
+                        core.gate_release(rank);
+                        core.poison(p);
+                    }
+                }
+            });
+        }
+        for (w, busy_slot) in busy.iter_mut().enumerate() {
+            let core = Arc::clone(&core);
+            let slots = &slots;
+            let outputs = &outputs;
+            let collect = &collect;
+            scope.spawn(move || {
+                *busy_slot = worker_loop(&core, slots, outputs, collect, w);
+            });
+        }
+    });
+    let wall = t_run.elapsed().as_secs_f64();
+    assemble(&core, outputs, collect, busy, wall)
+}
+
+/// Run `nranks` state-machine rank tasks on `workers` workers — no
+/// per-rank OS threads at all. `factory` is called once per rank with
+/// that rank's [`ExecComm`] and returns the task that owns it.
+pub fn exec_run_tasks<'env, T, F>(
+    nranks: usize,
+    workers: usize,
+    trace: bool,
+    mut factory: F,
+) -> ExecRunResult<T>
+where
+    T: Send,
+    F: FnMut(ExecComm) -> Box<dyn RankTask<Out = T> + Send + 'env>,
+{
+    assert!(nranks > 0);
+    let workers = workers.clamp(1, nranks);
+    let core = SchedCore::new(nranks, workers, trace);
+    let slots: Vec<TaskSlot<'env, T>> = (0..nranks)
+        .map(|rank| {
+            let comm = ExecComm::new(Arc::clone(&core), rank, TaskMode::Fsm);
+            TaskSlot::Fsm(Mutex::new(Some(factory(comm))))
+        })
+        .collect();
+    seed(&core);
+    let outputs: Vec<Mutex<Option<T>>> = (0..nranks).map(|_| Mutex::new(None)).collect();
+    let collect: Mutex<TraceBag> = Mutex::new((Vec::new(), Vec::new()));
+    let mut busy = vec![0.0f64; workers];
+    let t_run = Instant::now();
+    std::thread::scope(|scope| {
+        for (w, busy_slot) in busy.iter_mut().enumerate() {
+            let core = Arc::clone(&core);
+            let slots = &slots;
+            let outputs = &outputs;
+            let collect = &collect;
+            scope.spawn(move || {
+                *busy_slot = worker_loop(&core, slots, outputs, collect, w);
+            });
+        }
+    });
+    let wall = t_run.elapsed().as_secs_f64();
+    assemble(&core, outputs, collect, busy, wall)
+}

@@ -25,13 +25,18 @@
 //! * [`dist`] — [`dist::DistMatrix`]: 2-D block-distributed matrices
 //!   over a process grid, with optional real backing.
 //! * [`comm`] — the [`Comm`] trait and block handle types.
-//! * [`simbackend`] / [`threadbackend`] — the two implementations.
+//! * [`simbackend`] / [`threadbackend`] / [`exec`] — the three
+//!   implementations (virtual time, thread-per-rank, work-stealing
+//!   executor).
+//! * [`deque`] — the Chase–Lev work-stealing deque under the executor.
 //! * [`mpi`] — two-sided collectives (broadcast, shift, allgather) built
 //!   on `Comm::send`/`Comm::recv`, used by the baselines.
 
 pub mod arena;
 pub mod comm;
+pub mod deque;
 pub mod dist;
+pub mod exec;
 pub mod mpi;
 pub mod simbackend;
 pub mod threadbackend;
@@ -39,5 +44,8 @@ pub mod threadbackend;
 pub use arena::SharedArena;
 pub use comm::{BlockMut, BlockRef, Comm, GetHandle};
 pub use dist::DistMatrix;
+pub use exec::{
+    exec_run, exec_run_tasks, exec_run_traced, ExecComm, ExecRunResult, RankTask, Step,
+};
 pub use simbackend::{sim_run, ComputeMode, SimComm, SimOptions};
 pub use threadbackend::{thread_run, thread_run_traced, ThreadComm, ThreadRunResult};

@@ -11,7 +11,11 @@
 use crate::api::{parallel_gemm, Algorithm};
 use crate::layout::{dist_a, dist_b, dist_c, scatter_operands};
 use crate::options::GemmSpec;
-use srumma_comm::{sim_run, thread_run, thread_run_traced, SimOptions};
+use crate::srumma::{SrummaRankTask, SrummaReport};
+use srumma_comm::{
+    exec_run, exec_run_tasks, exec_run_traced, sim_run, thread_run, thread_run_traced,
+    ExecRunResult, SimOptions,
+};
 use srumma_dense::Matrix;
 use srumma_model::{Machine, ProcGrid};
 use srumma_sim::RunStats;
@@ -149,6 +153,76 @@ pub fn multiply_threads_traced(
             trace: res.trace,
         },
     )
+}
+
+/// Run `alg` on real data on the **work-stealing executor**: `nranks`
+/// logical ranks multiplexed onto `workers` worker threads. SRUMMA
+/// ranks run as polled state machines ([`crate::srumma::SrummaRankTask`]
+/// — zero OS threads per rank); SUMMA and Cannon run their unmodified
+/// blocking code on loan-gated threads. Returns the numeric result and
+/// the full run result — `stats.exec` carries the steal-rate/occupancy
+/// counters.
+pub fn multiply_exec(
+    nranks: usize,
+    workers: usize,
+    alg: &Algorithm,
+    spec: &GemmSpec,
+    a: &Matrix,
+    b: &Matrix,
+) -> (Matrix, ExecRunResult<Option<SrummaReport>>) {
+    multiply_exec_inner(nranks, workers, false, alg, spec, a, b)
+}
+
+/// [`multiply_exec`] with wall-clock event tracing on (including the
+/// scheduler's steal/park/resume markers).
+pub fn multiply_exec_traced(
+    nranks: usize,
+    workers: usize,
+    alg: &Algorithm,
+    spec: &GemmSpec,
+    a: &Matrix,
+    b: &Matrix,
+) -> (Matrix, ExecRunResult<Option<SrummaReport>>) {
+    multiply_exec_inner(nranks, workers, true, alg, spec, a, b)
+}
+
+fn multiply_exec_inner(
+    nranks: usize,
+    workers: usize,
+    trace: bool,
+    alg: &Algorithm,
+    spec: &GemmSpec,
+    a: &Matrix,
+    b: &Matrix,
+) -> (Matrix, ExecRunResult<Option<SrummaReport>>) {
+    let grid = default_grid(nranks);
+    let da = dist_a(spec, grid, true);
+    let db = dist_b(spec, grid, true);
+    let dc = dist_c(spec, grid, true);
+    scatter_operands(spec, &da, &db, a, b);
+    let res = match alg {
+        Algorithm::Srumma(opts) => {
+            let r = exec_run_tasks(nranks, workers, trace, |comm| {
+                Box::new(SrummaRankTask::new(comm, spec, &da, &db, &dc, opts))
+            });
+            ExecRunResult {
+                outputs: r.outputs.into_iter().map(Some).collect(),
+                wall_seconds: r.wall_seconds,
+                trace: r.trace,
+                stats: r.stats,
+            }
+        }
+        _ => {
+            let run =
+                |comm: &mut srumma_comm::ExecComm| parallel_gemm(comm, alg, spec, &da, &db, &dc);
+            if trace {
+                exec_run_traced(nranks, workers, run)
+            } else {
+                exec_run(nranks, workers, run)
+            }
+        }
+    };
+    (dc.gather(), res)
 }
 
 /// The serial reference result for verification. `a` and `b` are the

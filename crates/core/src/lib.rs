@@ -45,5 +45,5 @@ pub mod taskorder;
 
 pub use api::{parallel_gemm, Algorithm};
 pub use options::{GemmSpec, ShmemFlavor, SrummaOptions};
-pub use srumma::{srumma as srumma_gemm, SrummaReport};
+pub use srumma::{srumma as srumma_gemm, SrummaMachine, SrummaRankTask, SrummaReport};
 pub use summa::SummaOptions;

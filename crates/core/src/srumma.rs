@@ -23,7 +23,7 @@
 use crate::layout::{a_owner, a_seg_view, b_owner, b_seg_view};
 use crate::options::{GemmSpec, ShmemFlavor, SrummaOptions};
 use crate::taskorder::{build_tasks, diagonal_shift_origin, order_tasks, Task};
-use srumma_comm::{Comm, DistMatrix, GetHandle};
+use srumma_comm::{Comm, DistMatrix, ExecComm, GetHandle, RankTask, Step};
 use srumma_dense::MatRef;
 use srumma_trace::TraceKind;
 
@@ -137,100 +137,153 @@ impl Pipeline {
     }
 }
 
-/// Run SRUMMA: `C ← α·op(A)·op(B) + β·C` on this rank's C block.
+/// SRUMMA's per-rank task loop as a resumable state machine: all the
+/// setup in [`SrummaMachine::new`], one pipelined task per
+/// [`SrummaMachine::step`], the C write-guard released by
+/// [`SrummaMachine::finish`].
 ///
-/// All ranks must call this collectively with the same `spec`, matrices
-/// (laid out by [`crate::layout`]) and options. A closing barrier makes
-/// the result globally visible.
-pub fn srumma<C: Comm>(
-    comm: &mut C,
-    spec: &GemmSpec,
-    a: &DistMatrix,
-    b: &DistMatrix,
-    c: &DistMatrix,
-    opts: &SrummaOptions,
-) -> SrummaReport {
-    let me = comm.rank();
-    let grid = c.grid();
-    let (gi, gj) = grid.coords(me);
-    let aparts = crate::layout::a_kparts(grid);
-    let bparts = crate::layout::b_kparts(grid);
-    let depth = opts.effective_depth();
+/// The blocking [`srumma`] entry point drives it to completion in a
+/// plain loop; the work-stealing executor instead polls `step` from a
+/// worker thread, interleaving thousands of rank machines on a few
+/// workers. The machine deliberately contains **no** synchronization —
+/// the closing barrier belongs to the caller, which is what lets the
+/// executor turn it into a park point instead of a blocked thread.
+pub struct SrummaMachine<'a> {
+    spec: &'a GemmSpec,
+    a: &'a DistMatrix,
+    b: &'a DistMatrix,
+    depth: usize,
+    tasks: Vec<Task>,
+    order: Vec<usize>,
+    sources: Vec<(Source, Source)>,
+    a_pipe: Pipeline,
+    b_pipe: Pipeline,
+    /// Eviction-protection windows, allocated once and refilled per
+    /// task — the task loop is the per-rank hot path and must stay
+    /// allocation-free in the steady state.
+    wa: Vec<usize>,
+    wb: Vec<usize>,
+    cw: srumma_comm::dist::BlockWrite<'a>,
+    crows: usize,
+    ccols: usize,
+    pos: usize,
+    report: SrummaReport,
+}
 
-    let tasks = build_tasks(spec.k, aparts, bparts);
-    let shift = if opts.diagonal_shift {
-        diagonal_shift_origin(gi, gj, aparts)
-    } else {
-        0
-    };
+impl<'a> SrummaMachine<'a> {
+    /// Build this rank's task list, ordering, source resolution and
+    /// prefetch pipelines, apply the beta pre-pass, and take the C
+    /// write guard. No task runs yet.
+    pub fn new<C: Comm>(
+        comm: &mut C,
+        spec: &'a GemmSpec,
+        a: &'a DistMatrix,
+        b: &'a DistMatrix,
+        c: &'a DistMatrix,
+        opts: &SrummaOptions,
+    ) -> Self {
+        let me = comm.rank();
+        let grid = c.grid();
+        let (gi, gj) = grid.coords(me);
+        let aparts = crate::layout::a_kparts(grid);
+        let bparts = crate::layout::b_kparts(grid);
+        let depth = opts.effective_depth();
 
-    // A task is "local" when both its blocks are in this rank's domain.
-    let topo = comm.topology();
-    let is_local = |t: &Task| {
-        topo.same_domain(me, a_owner(spec, grid, gi, t.la))
-            && topo.same_domain(me, b_owner(spec, grid, t.lb, gj))
-    };
-    let order = order_tasks(tasks.len(), &tasks, aparts, shift, opts.smp_first, is_local);
+        let tasks = build_tasks(spec.k, aparts, bparts);
+        let shift = if opts.diagonal_shift {
+            diagonal_shift_origin(gi, gj, aparts)
+        } else {
+            0
+        };
 
-    // Decide each block's source once.
-    let direct_ok = |owner: usize, comm: &C| match opts.shmem {
-        ShmemFlavor::Auto => comm.prefer_direct_access(owner),
-        ShmemFlavor::ForceCopy => false,
-        ShmemFlavor::ForceDirect => comm.same_domain(owner),
-    };
+        // A task is "local" when both its blocks are in this rank's
+        // domain.
+        let topo = comm.topology();
+        let is_local = |t: &Task| {
+            topo.same_domain(me, a_owner(spec, grid, gi, t.la))
+                && topo.same_domain(me, b_owner(spec, grid, t.lb, gj))
+        };
+        let order = order_tasks(tasks.len(), &tasks, aparts, shift, opts.smp_first, is_local);
 
-    let mut report = SrummaReport::default();
-    let mut a_pipe = Pipeline::new(depth);
-    let mut b_pipe = Pipeline::new(depth);
+        // Decide each block's source once.
+        let direct_ok = |owner: usize, comm: &C| match opts.shmem {
+            ShmemFlavor::Auto => comm.prefer_direct_access(owner),
+            ShmemFlavor::ForceCopy => false,
+            ShmemFlavor::ForceDirect => comm.same_domain(owner),
+        };
 
-    // Pre-resolve sources per ordered task (A and B independently).
-    let sources: Vec<(Source, Source)> = order
-        .iter()
-        .map(|&idx| {
-            let t = &tasks[idx];
-            let ao = a_owner(spec, grid, gi, t.la);
-            let bo = b_owner(spec, grid, t.lb, gj);
-            let sa = if direct_ok(ao, comm) {
-                Source::Direct { owner: ao }
-            } else {
-                Source::Fetch { owner: ao }
-            };
-            let sb = if direct_ok(bo, comm) {
-                Source::Direct { owner: bo }
-            } else {
-                Source::Fetch { owner: bo }
-            };
-            (sa, sb)
-        })
-        .collect();
+        // Pre-resolve sources per ordered task (A and B independently).
+        let sources: Vec<(Source, Source)> = order
+            .iter()
+            .map(|&idx| {
+                let t = &tasks[idx];
+                let ao = a_owner(spec, grid, gi, t.la);
+                let bo = b_owner(spec, grid, t.lb, gj);
+                let sa = if direct_ok(ao, comm) {
+                    Source::Direct { owner: ao }
+                } else {
+                    Source::Fetch { owner: ao }
+                };
+                let sb = if direct_ok(bo, comm) {
+                    Source::Direct { owner: bo }
+                } else {
+                    Source::Fetch { owner: bo }
+                };
+                (sa, sb)
+            })
+            .collect();
 
-    // PBLAS beta pre-pass: the owner scales its block in place. One
-    // flop per C element — negligible next to the 2k flops per element
-    // of the products, so no model time is charged.
-    if spec.beta != 1.0 {
-        c.scale_block(me, spec.beta);
+        // PBLAS beta pre-pass: the owner scales its block in place. One
+        // flop per C element — negligible next to the 2k flops per
+        // element of the products, so no model time is charged.
+        if spec.beta != 1.0 {
+            c.scale_block(me, spec.beta);
+        }
+
+        let cw = c.write_block(me);
+        let (crows, ccols) = (cw.rows(), cw.cols());
+        debug_assert_eq!(crows, srumma_comm::dist::chunk_len(spec.m, grid.p, gi));
+        debug_assert_eq!(ccols, srumma_comm::dist::chunk_len(spec.n, grid.q, gj));
+
+        SrummaMachine {
+            spec,
+            a,
+            b,
+            depth,
+            a_pipe: Pipeline::new(depth),
+            b_pipe: Pipeline::new(depth),
+            wa: Vec::with_capacity(depth + 1),
+            wb: Vec::with_capacity(depth + 1),
+            cw,
+            crows,
+            ccols,
+            pos: 0,
+            report: SrummaReport::default(),
+            tasks,
+            order,
+            sources,
+        }
     }
 
-    let mut cw = c.write_block(me);
-    let (crows, ccols) = (cw.rows(), cw.cols());
-    debug_assert_eq!(crows, srumma_comm::dist::chunk_len(spec.m, grid.p, gi));
-    debug_assert_eq!(ccols, srumma_comm::dist::chunk_len(spec.n, grid.q, gj));
+    /// Whether any task remains to run.
+    pub fn has_work(&self) -> bool {
+        self.pos < self.order.len()
+    }
 
-    // Panels of tasks [pos ..= pos + depth]: the eviction-protection
-    // window at position `pos`. The two window vectors are allocated
-    // once and refilled per task — the task loop is the per-rank hot
-    // path and must stay allocation-free in the steady state.
-    let mut wa: Vec<usize> = Vec::with_capacity(depth + 1);
-    let mut wb: Vec<usize> = Vec::with_capacity(depth + 1);
-
-    for (pos, &idx) in order.iter().enumerate() {
-        let t = tasks[idx];
-        let (sa, sb) = sources[pos];
-        wa.clear();
-        wb.clear();
-        for &i in &order[pos..(pos + depth + 1).min(order.len())] {
-            wa.push(tasks[i].la);
-            wb.push(tasks[i].lb);
+    /// Run one pipelined task (prefetch lookahead, wait for the current
+    /// blocks, segment dgemm). Returns `true` while more tasks remain.
+    pub fn step<C: Comm>(&mut self, comm: &mut C) -> bool {
+        let Some(&idx) = self.order.get(self.pos) else {
+            return false;
+        };
+        let (spec, depth, pos) = (self.spec, self.depth, self.pos);
+        let t = self.tasks[idx];
+        let (sa, sb) = self.sources[pos];
+        self.wa.clear();
+        self.wb.clear();
+        for &i in &self.order[pos..(pos + depth + 1).min(self.order.len())] {
+            self.wa.push(self.tasks[i].la);
+            self.wb.push(self.tasks[i].lb);
         }
         let traced = comm.recorder().is_enabled();
         let t_task = if traced { comm.now() } else { 0.0 };
@@ -241,41 +294,61 @@ pub fn srumma<C: Comm>(
         // With depth 0 (ablation) only the current task is fetched,
         // i.e. every get degenerates to a blocking one.
         for ahead in 0..=depth {
-            let Some(&nidx) = order.get(pos + ahead) else {
+            let Some(&nidx) = self.order.get(pos + ahead) else {
                 break;
             };
-            let nt = &tasks[nidx];
-            let (nsa, nsb) = sources[pos + ahead];
+            let nt = &self.tasks[nidx];
+            let (nsa, nsb) = self.sources[pos + ahead];
             if let Source::Fetch { owner } = nsa {
-                a_pipe.ensure_issued(comm, a, owner, nt.la, &wa, &mut report.fetched_blocks);
+                self.a_pipe.ensure_issued(
+                    comm,
+                    self.a,
+                    owner,
+                    nt.la,
+                    &self.wa,
+                    &mut self.report.fetched_blocks,
+                );
             }
             if let Source::Fetch { owner } = nsb {
-                b_pipe.ensure_issued(comm, b, owner, nt.lb, &wb, &mut report.fetched_blocks);
+                self.b_pipe.ensure_issued(
+                    comm,
+                    self.b,
+                    owner,
+                    nt.lb,
+                    &self.wb,
+                    &mut self.report.fetched_blocks,
+                );
             }
         }
 
         // Wait for this task's blocks (no-op if already complete).
         let a_slot = match sa {
             Source::Fetch { .. } => {
-                let s = a_pipe.find(t.la).expect("current A panel must be resident");
-                a_pipe.wait_ready(comm, s);
+                let s = self
+                    .a_pipe
+                    .find(t.la)
+                    .expect("current A panel must be resident");
+                self.a_pipe.wait_ready(comm, s);
                 Some(s)
             }
             Source::Direct { owner } => {
-                report.direct_blocks += 1;
-                comm.recorder().count_direct(a.block_bytes(owner));
+                self.report.direct_blocks += 1;
+                comm.recorder().count_direct(self.a.block_bytes(owner));
                 None
             }
         };
         let b_slot = match sb {
             Source::Fetch { .. } => {
-                let s = b_pipe.find(t.lb).expect("current B panel must be resident");
-                b_pipe.wait_ready(comm, s);
+                let s = self
+                    .b_pipe
+                    .find(t.lb)
+                    .expect("current B panel must be resident");
+                self.b_pipe.wait_ready(comm, s);
                 Some(s)
             }
             Source::Direct { owner } => {
-                report.direct_blocks += 1;
-                comm.recorder().count_direct(b.block_bytes(owner));
+                self.report.direct_blocks += 1;
+                comm.recorder().count_direct(self.b.block_bytes(owner));
                 None
             }
         };
@@ -291,21 +364,21 @@ pub fn srumma<C: Comm>(
             String::new()
         };
         let a_direct = match sa {
-            Source::Direct { owner } => Some(a.read_block(owner)),
+            Source::Direct { owner } => Some(self.a.read_block(owner)),
             _ => None,
         };
         let b_direct = match sb {
-            Source::Direct { owner } => Some(b.read_block(owner)),
+            Source::Direct { owner } => Some(self.b.read_block(owner)),
             _ => None,
         };
         let a_whole: Option<MatRef<'_>> = match (&a_direct, a_slot) {
             (Some(blk), _) => blk.mat(),
-            (None, Some(s)) => a_pipe.view(s),
+            (None, Some(s)) => self.a_pipe.view(s),
             _ => None,
         };
         let b_whole: Option<MatRef<'_>> = match (&b_direct, b_slot) {
             (Some(blk), _) => blk.mat(),
-            (None, Some(s)) => b_pipe.view(s),
+            (None, Some(s)) => self.b_pipe.view(s),
             _ => None,
         };
         let av = a_whole.map(|v| a_seg_view(spec, v, t.rel_a(), seg));
@@ -315,17 +388,17 @@ pub fn srumma<C: Comm>(
         comm.gemm(
             ta,
             tb,
-            crows,
-            ccols,
+            self.crows,
+            self.ccols,
             seg,
             spec.alpha,
             av.map(|(v, _)| v),
             bv.map(|(v, _)| v),
-            cw.mat_mut(),
+            self.cw.mat_mut(),
             direct,
             &label,
         );
-        report.tasks += 1;
+        self.report.tasks += 1;
         comm.recorder().count_task();
         if traced {
             let t1 = comm.now();
@@ -333,9 +406,120 @@ pub fn srumma<C: Comm>(
                 format!("task la={} lb={} k={}..{}", t.la, t.lb, t.k0, t.k1)
             });
         }
+        self.pos += 1;
+        self.pos < self.order.len()
     }
 
-    drop(cw);
+    /// Release the C write guard and return the report. Call this
+    /// *before* the closing barrier — peers may not read C while this
+    /// rank's guard is live.
+    pub fn finish(self) -> SrummaReport {
+        self.report
+    }
+}
+
+/// One SRUMMA rank as a schedulable task for the work-stealing
+/// executor: the [`SrummaMachine`] polled a few tasks per `step`, then
+/// the closing barrier as a [`barrier_try`](ExecComm::barrier_try) park
+/// point. This is what lets 1024 SRUMMA ranks run on 4 worker threads —
+/// a rank waiting in the barrier costs a deque entry, not an OS thread.
+pub struct SrummaRankTask<'a> {
+    comm: ExecComm,
+    spec: &'a GemmSpec,
+    a: &'a DistMatrix,
+    b: &'a DistMatrix,
+    c: &'a DistMatrix,
+    opts: SrummaOptions,
+    machine: Option<SrummaMachine<'a>>,
+    report: Option<SrummaReport>,
+}
+
+impl<'a> SrummaRankTask<'a> {
+    /// Tasks to run per poll before yielding back to the scheduler —
+    /// large enough to amortize the scheduling round-trip, small enough
+    /// that ranks interleave and stealing stays effective.
+    const STRIDE: usize = 8;
+
+    /// Wrap one rank's multiply. Setup is deferred to the first `step`
+    /// so it runs on a worker, not on the thread launching the run.
+    pub fn new(
+        comm: ExecComm,
+        spec: &'a GemmSpec,
+        a: &'a DistMatrix,
+        b: &'a DistMatrix,
+        c: &'a DistMatrix,
+        opts: &SrummaOptions,
+    ) -> Self {
+        SrummaRankTask {
+            comm,
+            spec,
+            a,
+            b,
+            c,
+            opts: *opts,
+            machine: None,
+            report: None,
+        }
+    }
+}
+
+impl RankTask for SrummaRankTask<'_> {
+    type Out = SrummaReport;
+
+    fn step(&mut self) -> Step<SrummaReport> {
+        if self.report.is_none() {
+            let machine = self.machine.get_or_insert_with(|| {
+                SrummaMachine::new(
+                    &mut self.comm,
+                    self.spec,
+                    self.a,
+                    self.b,
+                    self.c,
+                    &self.opts,
+                )
+            });
+            let mut more = machine.has_work();
+            for _ in 0..Self::STRIDE {
+                if !more {
+                    break;
+                }
+                more = machine.step(&mut self.comm);
+            }
+            if more {
+                return Step::Yield;
+            }
+            // Release the C write guard *before* arriving at the
+            // barrier: a peer passing the barrier may gather C.
+            self.report = Some(self.machine.take().expect("machine exists here").finish());
+        }
+        if self.comm.barrier_try() {
+            Step::Done(self.report.take().expect("report set above"))
+        } else {
+            Step::Park
+        }
+    }
+
+    fn take_trace(&mut self) -> (Vec<srumma_trace::TraceEvent>, srumma_trace::Counters) {
+        self.comm.recorder().take()
+    }
+}
+
+/// Run SRUMMA: `C ← α·op(A)·op(B) + β·C` on this rank's C block.
+///
+/// All ranks must call this collectively with the same `spec`, matrices
+/// (laid out by [`crate::layout`]) and options. A closing barrier makes
+/// the result globally visible.
+pub fn srumma<C: Comm>(
+    comm: &mut C,
+    spec: &GemmSpec,
+    a: &DistMatrix,
+    b: &DistMatrix,
+    c: &DistMatrix,
+    opts: &SrummaOptions,
+) -> SrummaReport {
+    let mut machine = SrummaMachine::new(comm, spec, a, b, c, opts);
+    while machine.step(comm) {}
+    let report = machine.finish();
     comm.barrier();
     report
 }

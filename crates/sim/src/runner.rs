@@ -90,6 +90,7 @@ where
             ranks: rank_stats,
             final_times: times,
             makespan,
+            exec: None,
         },
         trace,
     }

@@ -15,6 +15,11 @@ pub enum TraceKind {
     /// SUMMA panel step, one Cannon shift step). Tasks *envelope* the
     /// finer-grained events above.
     Task,
+    /// A work-stealing-executor scheduling event (park, steal, resume),
+    /// stamped with the logical rank being scheduled; the worker id is
+    /// carried in the label. Instantaneous (`t0 == t1`) and excluded
+    /// from time bucketing.
+    Sched,
 }
 
 impl TraceKind {
@@ -26,6 +31,7 @@ impl TraceKind {
             TraceKind::Wait => "wait",
             TraceKind::Barrier => "sync",
             TraceKind::Task => "task",
+            TraceKind::Sched => "sched",
         }
     }
 }
@@ -68,6 +74,7 @@ mod tests {
         assert_eq!(TraceKind::Compute.category(), "compute");
         assert_eq!(TraceKind::Transfer.category(), "comm");
         assert_eq!(TraceKind::Task.category(), "task");
+        assert_eq!(TraceKind::Sched.category(), "sched");
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub fn ascii_gantt(events: &[TraceEvent], nranks: usize, width: usize) -> String
                 TraceKind::Transfer => '-',
                 TraceKind::Wait => '.',
                 TraceKind::Barrier => '|',
-                TraceKind::Task => continue,
+                TraceKind::Task | TraceKind::Sched => continue,
             };
             let a = ((e.t0 / makespan) * width as f64).floor() as usize;
             let b = (((e.t1 / makespan) * width as f64).ceil() as usize).min(width);

@@ -36,4 +36,4 @@ pub mod stats;
 pub use event::{TraceEvent, TraceKind};
 pub use export::{ascii_gantt, bench_report_json, chrome_trace_json};
 pub use recorder::{Counters, Recorder};
-pub use stats::{RankStats, RunStats};
+pub use stats::{ExecStats, RankStats, RunStats};

@@ -71,6 +71,62 @@ impl RankStats {
     }
 }
 
+/// Scheduling counters of a work-stealing-executor run: how N logical
+/// ranks were multiplexed onto W workers. `None` on the per-rank-thread
+/// and simulator backends, where no scheduler sits between ranks and
+/// the hardware.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    /// Worker pool size.
+    pub workers: usize,
+    /// Tasks a worker popped from its own deque.
+    pub local_pops: u64,
+    /// Tasks a worker stole from a sibling's deque.
+    pub steals: u64,
+    /// Tasks a worker took from the global injector (wake-ups after a
+    /// park).
+    pub injector_pops: u64,
+    /// Times a logical rank parked (barrier or message wait) instead of
+    /// blocking an OS thread.
+    pub parks: u64,
+    /// Times a worker went to sleep for lack of runnable tasks.
+    pub worker_parks: u64,
+    /// Summed seconds workers spent running rank work (across all
+    /// workers).
+    pub busy_seconds: f64,
+    /// Wall-clock duration of the executor run.
+    pub wall_seconds: f64,
+}
+
+impl ExecStats {
+    /// Total scheduling decisions (every time a worker picked a task).
+    pub fn schedules(&self) -> u64 {
+        self.local_pops + self.steals + self.injector_pops
+    }
+
+    /// Fraction of scheduling decisions that were steals, in `[0, 1]`.
+    /// High values mean load was imbalanced across worker deques.
+    pub fn steal_rate(&self) -> f64 {
+        let total = self.schedules();
+        if total == 0 {
+            0.0
+        } else {
+            self.steals as f64 / total as f64
+        }
+    }
+
+    /// Fraction of the worker pool's capacity that ran rank work:
+    /// `busy / (workers × wall)`, clamped to `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        let capacity = self.workers as f64 * self.wall_seconds;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.busy_seconds / capacity).clamp(0.0, 1.0)
+        }
+    }
+}
+
 /// Aggregated result of a whole run, from either backend.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -80,6 +136,8 @@ pub struct RunStats {
     pub final_times: Vec<f64>,
     /// Maximum final time — the run's makespan.
     pub makespan: f64,
+    /// Executor scheduling counters (work-stealing backend only).
+    pub exec: Option<ExecStats>,
 }
 
 impl RunStats {
@@ -171,6 +229,9 @@ impl RunStats {
                     r.bytes_shm += e.bytes;
                 }
                 TraceKind::Task => {}
+                // Scheduling markers are instantaneous bookkeeping, not
+                // rank time: they must not move final times either.
+                TraceKind::Sched => continue,
             }
             final_times[e.rank] = final_times[e.rank].max(e.t1);
         }
@@ -179,6 +240,7 @@ impl RunStats {
             ranks,
             final_times,
             makespan,
+            exec: None,
         }
     }
 
@@ -199,6 +261,14 @@ impl RunStats {
         o.num("stall_time_seconds", self.total_stall_time());
         o.num("makespan_skew", self.makespan_skew());
         o.int("tasks", self.ranks.iter().map(|r| r.tasks).sum::<u64>());
+        if let Some(e) = &self.exec {
+            o.int("exec_workers", e.workers as u64);
+            o.num("exec_steal_rate", e.steal_rate());
+            o.num("exec_occupancy", e.occupancy());
+            o.int("exec_steals", e.steals);
+            o.int("exec_parks", e.parks);
+            o.int("exec_worker_parks", e.worker_parks);
+        }
         o.raw(
             "per_rank_final_times",
             &crate::json::array_f64(&self.final_times),
@@ -242,6 +312,7 @@ mod tests {
             ],
             final_times: vec![2.0, 3.0],
             makespan: 3.0,
+            exec: None,
         };
         assert_eq!(rs.total_network_bytes(), 150);
         assert_eq!(rs.total_shm_bytes(), 15);
@@ -299,12 +370,71 @@ mod tests {
             }],
             final_times: vec![1.25],
             makespan: 1.25,
+            exec: Some(ExecStats {
+                workers: 2,
+                local_pops: 6,
+                steals: 2,
+                injector_pops: 2,
+                parks: 3,
+                worker_parks: 1,
+                busy_seconds: 2.0,
+                wall_seconds: 1.25,
+            }),
         };
         let j = rs.summary_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"bytes_network\": 42"));
         assert!(j.contains("\"mean_overlap\": 0.75"));
         assert!(j.contains("\"tasks\": 9"));
+        assert!(j.contains("\"exec_workers\": 2"));
+        assert!(j.contains("\"exec_steal_rate\": 0.2"));
+        assert!(j.contains("\"exec_occupancy\": 0.8"));
         assert!(j.contains("\"per_rank_final_times\": [1.25]"));
+    }
+
+    #[test]
+    fn exec_stats_rates() {
+        let e = ExecStats {
+            workers: 4,
+            local_pops: 70,
+            steals: 20,
+            injector_pops: 10,
+            busy_seconds: 6.0,
+            wall_seconds: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(e.schedules(), 100);
+        assert!((e.steal_rate() - 0.2).abs() < 1e-12);
+        assert!((e.occupancy() - 0.75).abs() < 1e-12);
+        let idle = ExecStats::default();
+        assert_eq!(idle.steal_rate(), 0.0);
+        assert_eq!(idle.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn sched_events_do_not_bucket_time() {
+        let events = vec![
+            TraceEvent {
+                rank: 0,
+                t0: 0.0,
+                t1: 1.0,
+                kind: TraceKind::Compute,
+                label: String::new(),
+                bytes: 0,
+            },
+            // A sched marker far past the last real event must not
+            // stretch the rank's final time.
+            TraceEvent {
+                rank: 0,
+                t0: 9.0,
+                t1: 9.0,
+                kind: TraceKind::Sched,
+                label: "steal w1<-w0".into(),
+                bytes: 0,
+            },
+        ];
+        let rs = RunStats::from_events(1, &events);
+        assert_eq!(rs.final_times, vec![1.0]);
+        assert_eq!(rs.ranks[0].compute_time, 1.0);
     }
 }

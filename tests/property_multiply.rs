@@ -1,11 +1,12 @@
-//! Property test: both backends agree with the serial kernel over
+//! Property test: all three backends agree with the serial kernel over
 //! randomized problems — shapes (including degenerate ones), transpose
-//! cases, PBLAS scalars, rank counts and SRUMMA scheduling options.
+//! cases, PBLAS scalars, rank counts, worker-pool sizes and SRUMMA
+//! scheduling options.
 //!
 //! Seeds are deterministic (SplitMix64) and embedded in every assertion
 //! message, so a failure reproduces by running the named case alone.
 
-use srumma::core::driver::{multiply_threads, multiply_verified, serial_reference};
+use srumma::core::driver::{multiply_exec, multiply_threads, multiply_verified, serial_reference};
 use srumma::dense::{max_abs_diff, Rng};
 use srumma::{Algorithm, GemmSpec, Machine, Matrix, Op, ShmemFlavor, SrummaOptions};
 
@@ -47,9 +48,21 @@ fn tolerance(k: usize) -> f64 {
     1e-12 * (k.max(1) as f64) * 100.0
 }
 
+/// Which backend a property case runs on.
+#[derive(Clone, Copy, Debug)]
+enum Backend {
+    /// One OS thread per rank (`ThreadComm`).
+    Threads,
+    /// Virtual-time simulator (`SimComm`).
+    Sim,
+    /// Work-stealing executor: ranks multiplexed onto a random worker
+    /// pool (often oversubscribed).
+    Exec,
+}
+
 /// `β·C + α·op(A)·op(B)` with a random nonzero starting C, checked
 /// against the serial kernel run on the same inputs.
-fn check_case(seed: u64, backend_threads: bool) {
+fn check_case(seed: u64, backend: Backend) {
     let mut rng = Rng::new(seed);
     let spec = random_spec(&mut rng);
     let nranks = *rng.pick(&[1usize, 2, 3, 4, 6, 8]);
@@ -73,15 +86,20 @@ fn check_case(seed: u64, backend_threads: bool) {
         Algorithm::Srumma(random_srumma(&mut rng))
     };
 
-    let c = if backend_threads {
-        multiply_threads(nranks, &alg, &spec, &a, &b).0
-    } else {
-        multiply_verified(&Machine::linux_myrinet(), nranks, &alg, &spec, &a, &b).0
+    let c = match backend {
+        Backend::Threads => multiply_threads(nranks, &alg, &spec, &a, &b).0,
+        Backend::Sim => multiply_verified(&Machine::linux_myrinet(), nranks, &alg, &spec, &a, &b).0,
+        Backend::Exec => {
+            // Workers chosen independently of ranks: frequently an
+            // oversubscribed pool, sometimes more workers than ranks.
+            let workers = *rng.pick(&[1usize, 2, 3, 4]);
+            multiply_exec(nranks, workers, &alg, &spec, &a, &b).0
+        }
     };
     let diff = max_abs_diff(&c, &expect);
     assert!(
         diff < tolerance(spec.k),
-        "seed {seed:#x}: {} {} m={} n={} k={} alpha={} beta={} x{nranks} ({}): |diff|={diff:e}",
+        "seed {seed:#x}: {} {} m={} n={} k={} alpha={} beta={} x{nranks} ({backend:?}): |diff|={diff:e}",
         alg.name(),
         spec.case_label(),
         spec.m,
@@ -89,20 +107,26 @@ fn check_case(seed: u64, backend_threads: bool) {
         spec.k,
         spec.alpha,
         spec.beta,
-        if backend_threads { "threads" } else { "sim" },
     );
 }
 
 #[test]
 fn threads_match_serial_reference_on_random_problems() {
     for case in 0..CASES {
-        check_case(0xE2E_7EAD + case, true);
+        check_case(0xE2E_7EAD + case, Backend::Threads);
     }
 }
 
 #[test]
 fn simulator_matches_serial_reference_on_random_problems() {
     for case in 0..CASES {
-        check_case(0xE2E_0512 + case, false);
+        check_case(0xE2E_0512 + case, Backend::Sim);
+    }
+}
+
+#[test]
+fn executor_matches_serial_reference_on_random_problems() {
+    for case in 0..CASES {
+        check_case(0xE2E_0EC5 + case, Backend::Exec);
     }
 }
