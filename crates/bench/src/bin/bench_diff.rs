@@ -12,7 +12,12 @@
 //!
 //! Usage:
 //! `cargo run -p srumma-bench --bin bench_diff -- BASE.json NEW.json
-//! [--strict] [--threshold PCT]`
+//! [--strict] [--threshold PCT] [--only SUBSTR]`
+//!
+//! `--only SUBSTR` restricts the comparison to metric keys containing
+//! `SUBSTR` (repeatable; a key matching any filter is kept). CI uses it
+//! to gate on hardware-stable *ratios* (`--only speedup`) while the
+//! absolute wall-second metrics in the same report stay informational.
 //!
 //! Default mode always exits 0 (a *soft* gate: CI warns but stays
 //! green); `--strict` exits 1 when regressions were found.
@@ -24,12 +29,14 @@ struct Config {
     new: String,
     strict: bool,
     threshold: f64,
+    only: Vec<String>,
 }
 
 fn parse_args() -> Config {
     let mut paths = Vec::new();
     let mut strict = false;
     let mut threshold = 10.0;
+    let mut only = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -41,6 +48,13 @@ fn parse_args() -> Config {
                     std::process::exit(2);
                 });
             }
+            "--only" => match args.next() {
+                Some(s) if !s.is_empty() => only.push(s),
+                _ => {
+                    eprintln!("--only wants a key substring");
+                    std::process::exit(2);
+                }
+            },
             other if !other.starts_with('-') => paths.push(other.to_string()),
             other => {
                 eprintln!("unknown arg {other:?}");
@@ -49,7 +63,9 @@ fn parse_args() -> Config {
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: bench_diff BASE.json NEW.json [--strict] [--threshold PCT]");
+        eprintln!(
+            "usage: bench_diff BASE.json NEW.json [--strict] [--threshold PCT] [--only SUBSTR]"
+        );
         std::process::exit(2);
     }
     Config {
@@ -57,6 +73,7 @@ fn parse_args() -> Config {
         new: paths.remove(0),
         strict,
         threshold,
+        only,
     }
 }
 
@@ -101,9 +118,13 @@ fn main() {
         "bench_diff: {} -> {}  (threshold {}%)",
         cfg.base, cfg.new, cfg.threshold
     );
+    let keep = |key: &str| cfg.only.is_empty() || cfg.only.iter().any(|s| key.contains(s.as_str()));
     let mut regressions = 0usize;
     let mut improvements = 0usize;
     for (key, bval) in bm {
+        if !keep(key) {
+            continue;
+        }
         let Some(b) = bval.as_num() else { continue };
         let Some(n) = nm.get(key).and_then(Json::as_num) else {
             println!("  ~ {key}: dropped from new report");
@@ -132,7 +153,7 @@ fn main() {
         }
     }
     for key in nm.keys() {
-        if !bm.contains_key(key) && nm[key].as_num().is_some() {
+        if keep(key) && !bm.contains_key(key) && nm[key].as_num().is_some() {
             println!("  ~ {key}: new metric (no baseline)");
         }
     }

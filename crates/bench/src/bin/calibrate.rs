@@ -1,9 +1,11 @@
 //! Calibration probe: check the machine profiles against the paper's
 //! anchor points (DESIGN.md §6), sweep the host's gemm cache-block
-//! sizes (`--blocks`), and probe the work-stealing executor's worker
-//! count (`--workers`). Not a figure — a development tool.
+//! sizes (`--blocks`), probe the work-stealing executor's worker count
+//! (`--workers`), and find the batched-driver amortization crossover
+//! (`--batch`). Not a figure — a development tool.
 
 use srumma_bench::{fmt, pdgemm_best, srumma_gflops, srumma_stats};
+use srumma_core::batch::{multiply_batch_exec, BatchEntry, BatchSpec};
 use srumma_core::driver::multiply_exec;
 use srumma_core::{Algorithm, GemmSpec};
 use srumma_dense::blocked::{blocked_gemm_ws, BlockSizes};
@@ -121,6 +123,69 @@ fn probe_workers() {
     );
 }
 
+/// Probe the batched driver's amortization crossover on this host: run
+/// streams of B small multiplies as a loop of standalone `multiply_exec`
+/// calls and as one `multiply_batch_exec`, and report the smallest B
+/// where the batched path wins — the point past which callers with a
+/// stream of tiles should switch to `BatchSpec`.
+fn probe_batch() {
+    let (nranks, n) = (16usize, 64usize);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8);
+    let alg = Algorithm::srumma_default();
+    println!(
+        "batched-driver probe ({nranks} ranks on {workers} workers, {n}x{n} tiles, best of 3):"
+    );
+    let mut crossover: Option<usize> = None;
+    for &b in &[1usize, 2, 4, 8, 16, 32] {
+        let mut batch = BatchSpec::new();
+        for e in 0..b {
+            let spec = GemmSpec::square(n);
+            let a = Matrix::random(n, n, 500 + 2 * e as u64);
+            let bm = Matrix::random(n, n, 501 + 2 * e as u64);
+            batch.push(BatchEntry::new(spec, a, bm));
+        }
+        // Warm both paths, then take best-of-3 wall clock around each.
+        for e in &batch.entries {
+            let _ = multiply_exec(nranks, workers, &alg, &e.spec, &e.a, &e.b);
+        }
+        let _ = multiply_batch_exec(&batch, nranks, workers);
+        let mut t_loop = f64::INFINITY;
+        let mut t_batched = f64::INFINITY;
+        let mut overlap = 0.0;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            for e in &batch.entries {
+                let _ = multiply_exec(nranks, workers, &alg, &e.spec, &e.a, &e.b);
+            }
+            t_loop = t_loop.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            let res = multiply_batch_exec(&batch, nranks, workers);
+            let t = t0.elapsed().as_secs_f64();
+            if t < t_batched {
+                t_batched = t;
+                overlap = res.stats.inter_entry_overlap();
+            }
+        }
+        let speedup = t_loop / t_batched;
+        if speedup > 1.0 && crossover.is_none() {
+            crossover = Some(b);
+        }
+        println!(
+            "  batch={b:<3} loop {:>8.2} ms  batched {:>8.2} ms  ({speedup:.2}x, overlap {})",
+            t_loop * 1e3,
+            t_batched * 1e3,
+            fmt(overlap)
+        );
+    }
+    match crossover {
+        Some(b) => println!("crossover: batched wins from batch size {b} on this host"),
+        None => println!("crossover: batched never won up to batch size 32 on this host"),
+    }
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--blocks") {
         probe_block_sizes();
@@ -128,6 +193,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--workers") {
         probe_workers();
+        return;
+    }
+    if std::env::args().any(|a| a == "--batch") {
+        probe_batch();
         return;
     }
     let t0 = std::time::Instant::now();

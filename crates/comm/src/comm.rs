@@ -110,6 +110,15 @@ pub trait Comm {
     /// Full barrier.
     fn barrier(&mut self);
 
+    /// How many times this rank's reusable gemm packing workspace has
+    /// grown (0 on backends without one). Buffer demand depends only on
+    /// the kernel's cache block sizes, so a healthy rank grows at most
+    /// once — the batched driver asserts this holds across *whole
+    /// batches*, not just single multiplies.
+    fn ws_grow_count(&self) -> u64 {
+        0
+    }
+
     /// Nonblocking one-sided fetch of `owner`'s block of `mat` into
     /// `buf` (cleared/filled as appropriate). The *data* lands
     /// immediately (operands are immutable during an operation, so

@@ -34,8 +34,18 @@ pub fn chunk_len(n: usize, parts: usize, i: usize) -> usize {
 enum Backing {
     /// Shape only; no elements exist.
     Virtual,
-    /// Real elements in a shared arena, one region per rank.
-    Real(Arc<SharedArena>),
+    /// Real elements in a shared arena: rank `r`'s block lives in
+    /// region `base + stride · r`. A privately allocated matrix uses
+    /// `base = 0, stride = 1`; the batched driver instead threads many
+    /// matrices through **one** arena (regions sized to the batch
+    /// high-water mark), so a region may be *longer* than the block it
+    /// currently holds — every accessor slices to the block's
+    /// `rows · cols` prefix.
+    Real {
+        arena: Arc<SharedArena>,
+        base: usize,
+        stride: usize,
+    },
 }
 
 /// How grid blocks map to rank ids.
@@ -94,7 +104,11 @@ impl DistMatrix {
                 })
                 .collect();
             let (arena, _offsets) = SharedArena::new(&lens);
-            Backing::Real(arena)
+            Backing::Real {
+                arena,
+                base: 0,
+                stride: 1,
+            }
         } else {
             Backing::Virtual
         };
@@ -104,6 +118,52 @@ impl DistMatrix {
             cols,
             order,
             backing,
+        }
+    }
+
+    /// Create a distributed matrix **inside an existing shared arena**:
+    /// rank `r`'s block occupies the prefix of region `base + stride·r`.
+    /// This is how the batched driver backs a whole stream of matrices
+    /// with one collective allocation — regions are sized to the batch
+    /// high-water mark and reused slot-by-slot, so each region must be
+    /// at least as long as the block mapped into it.
+    pub fn create_in_arena(
+        grid: ProcGrid,
+        rows: usize,
+        cols: usize,
+        order: RankOrder,
+        arena: Arc<SharedArena>,
+        base: usize,
+        stride: usize,
+    ) -> Self {
+        for r in 0..grid.nranks() {
+            let (br, bc) = Self::dims_for(grid, rows, cols, order, r);
+            let (_, len) = arena.region(base + stride * r);
+            assert!(
+                len >= br * bc,
+                "arena region {} holds {len} elems, block of rank {r} needs {}",
+                base + stride * r,
+                br * bc
+            );
+        }
+        DistMatrix {
+            grid,
+            rows,
+            cols,
+            order,
+            backing: Backing::Real {
+                arena,
+                base,
+                stride,
+            },
+        }
+    }
+
+    /// Arena region id of `rank`'s block (real backing only).
+    fn region_of(&self, rank: usize) -> usize {
+        match &self.backing {
+            Backing::Real { base, stride, .. } => base + stride * rank,
+            Backing::Virtual => unreachable!("virtual matrices have no regions"),
         }
     }
 
@@ -117,7 +177,7 @@ impl DistMatrix {
 
     /// Whether real elements back this matrix.
     pub fn is_real(&self) -> bool {
-        matches!(self.backing, Backing::Real(_))
+        matches!(self.backing, Backing::Real { .. })
     }
 
     pub fn grid(&self) -> ProcGrid {
@@ -180,7 +240,7 @@ impl DistMatrix {
         let (rows, cols) = self.block_dims(rank);
         let guard = match &self.backing {
             Backing::Virtual => None,
-            Backing::Real(arena) => Some(arena.read_guard(rank)),
+            Backing::Real { arena, .. } => Some(arena.read_guard(self.region_of(rank))),
         };
         BlockRead { rows, cols, guard }
     }
@@ -190,7 +250,7 @@ impl DistMatrix {
         let (rows, cols) = self.block_dims(rank);
         let guard = match &self.backing {
             Backing::Virtual => None,
-            Backing::Real(arena) => Some(arena.write_guard(rank)),
+            Backing::Real { arena, .. } => Some(arena.write_guard(self.region_of(rank))),
         };
         BlockWrite { rows, cols, guard }
     }
@@ -203,10 +263,10 @@ impl DistMatrix {
         let (rows, cols) = self.block_dims(rank);
         match &self.backing {
             Backing::Virtual => dst.clear(),
-            Backing::Real(arena) => {
-                let g = arena.read_guard(rank);
+            Backing::Real { arena, .. } => {
+                let g = arena.read_guard(self.region_of(rank));
                 dst.clear();
-                dst.extend_from_slice(g.slice());
+                dst.extend_from_slice(&g.slice()[..rows * cols]);
             }
         }
         (rows, cols)
@@ -218,15 +278,15 @@ impl DistMatrix {
     /// must hold exactly the block's elements, row-major.
     pub fn copy_block_from(&self, rank: usize, src: &[f64]) {
         let (rows, cols) = self.block_dims(rank);
-        let Backing::Real(arena) = &self.backing else {
+        let Backing::Real { arena, .. } = &self.backing else {
             return;
         };
         if src.is_empty() && rows * cols > 0 {
             return; // modeled payload
         }
         assert_eq!(src.len(), rows * cols, "put payload size mismatch");
-        let mut g = arena.write_guard(rank);
-        g.slice_mut().copy_from_slice(src);
+        let mut g = arena.write_guard(self.region_of(rank));
+        g.slice_mut()[..rows * cols].copy_from_slice(src);
     }
 
     /// Accumulate `scale * src` into `rank`'s block elementwise (the
@@ -234,15 +294,15 @@ impl DistMatrix {
     /// backing or empty payloads.
     pub fn acc_block_from(&self, rank: usize, scale: f64, src: &[f64]) {
         let (rows, cols) = self.block_dims(rank);
-        let Backing::Real(arena) = &self.backing else {
+        let Backing::Real { arena, .. } = &self.backing else {
             return;
         };
         if src.is_empty() && rows * cols > 0 {
             return;
         }
         assert_eq!(src.len(), rows * cols, "acc payload size mismatch");
-        let mut g = arena.write_guard(rank);
-        for (d, s) in g.slice_mut().iter_mut().zip(src) {
+        let mut g = arena.write_guard(self.region_of(rank));
+        for (d, s) in g.slice_mut()[..rows * cols].iter_mut().zip(src) {
             *d += scale * s;
         }
     }
@@ -253,14 +313,16 @@ impl DistMatrix {
         if beta == 1.0 {
             return;
         }
-        let Backing::Real(arena) = &self.backing else {
+        let Backing::Real { arena, .. } = &self.backing else {
             return;
         };
-        let mut g = arena.write_guard(rank);
+        let (rows, cols) = self.block_dims(rank);
+        let mut g = arena.write_guard(self.region_of(rank));
+        let blk = &mut g.slice_mut()[..rows * cols];
         if beta == 0.0 {
-            g.slice_mut().fill(0.0);
+            blk.fill(0.0);
         } else {
-            for v in g.slice_mut() {
+            for v in blk {
                 *v *= beta;
             }
         }
@@ -273,13 +335,13 @@ impl DistMatrix {
     /// Panics on shape mismatch or virtual backing.
     pub fn scatter(&self, global: &Matrix) {
         assert_eq!((global.rows(), global.cols()), (self.rows, self.cols));
-        let Backing::Real(arena) = &self.backing else {
+        let Backing::Real { arena, .. } = &self.backing else {
             panic!("scatter() on a virtual DistMatrix");
         };
         for rank in 0..self.grid.nranks() {
             let (r0, c0) = self.block_origin(rank);
             let (br, bc) = self.block_dims(rank);
-            let mut w = arena.write_guard(rank);
+            let mut w = arena.write_guard(self.region_of(rank));
             let dst = w.slice_mut();
             for i in 0..br {
                 let src = &global.as_slice()[(r0 + i) * self.cols + c0..][..bc];
@@ -290,14 +352,14 @@ impl DistMatrix {
 
     /// Assemble the global matrix from all blocks (real backing only).
     pub fn gather(&self) -> Matrix {
-        let Backing::Real(arena) = &self.backing else {
+        let Backing::Real { arena, .. } = &self.backing else {
             panic!("gather() on a virtual DistMatrix");
         };
         let mut out = Matrix::zeros(self.rows, self.cols);
         for rank in 0..self.grid.nranks() {
             let (r0, c0) = self.block_origin(rank);
             let (br, bc) = self.block_dims(rank);
-            let g = arena.read_guard(rank);
+            let g = arena.read_guard(self.region_of(rank));
             let src = g.slice();
             for i in 0..br {
                 out.as_mut_slice()[(r0 + i) * self.cols + c0..][..bc]
@@ -329,11 +391,17 @@ impl BlockRead<'_> {
         self.cols
     }
 
-    /// Dense view of the block, if real-backed.
+    /// Dense view of the block, if real-backed (the region's
+    /// `rows · cols` prefix — shared-arena regions may be longer).
     pub fn mat(&self) -> Option<MatRef<'_>> {
-        self.guard
-            .as_ref()
-            .map(|g| MatRef::new(self.rows, self.cols, self.cols, g.slice()))
+        self.guard.as_ref().map(|g| {
+            MatRef::new(
+                self.rows,
+                self.cols,
+                self.cols,
+                &g.slice()[..self.rows * self.cols],
+            )
+        })
     }
 }
 
@@ -353,12 +421,13 @@ impl BlockWrite<'_> {
         self.cols
     }
 
-    /// Mutable dense view of the block, if real-backed.
+    /// Mutable dense view of the block, if real-backed (the region's
+    /// `rows · cols` prefix).
     pub fn mat_mut(&mut self) -> Option<MatMut<'_>> {
         let (rows, cols) = (self.rows, self.cols);
         self.guard
             .as_mut()
-            .map(|g| MatMut::new(rows, cols, cols, g.slice_mut()))
+            .map(|g| MatMut::new(rows, cols, cols, &mut g.slice_mut()[..rows * cols]))
     }
 }
 

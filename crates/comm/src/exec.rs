@@ -123,18 +123,27 @@ struct Global {
     sleepers: usize,
 }
 
-struct BarrierSt {
-    count: usize,
-    generation: u64,
-    waiters: Vec<usize>,
-}
-
-/// Result of a barrier arrival.
-enum Arrive {
-    /// This rank completed the barrier; all waiters have been woken.
-    Passed,
-    /// Must wait for the given generation to pass.
-    Waiting(u64),
+/// Multi-fence synchronization state: the classic split barrier
+/// generalized so every rank may be **several fences ahead** of the
+/// slowest rank.
+///
+/// Every rank arrives at fences in the same program order, so a rank's
+/// `i`-th arrival is globally fence `i`. Fence `f` is complete once
+/// every rank has made at least `f + 1` arrivals — i.e. when
+/// `completed = min(arrived) > f`. A plain count/generation barrier
+/// breaks here: a fast rank's arrival at fence `f + 1` must not count
+/// toward fence `f`'s quorum, which is exactly what per-rank arrival
+/// counters capture. The classic full barrier is the special case where
+/// every rank waits on its own latest fence before arriving at the
+/// next.
+struct FenceSt {
+    /// Arrivals per rank (rank `r`'s next arrival opens fence
+    /// `arrived[r]`).
+    arrived: Vec<u64>,
+    /// Fences fully passed: all fences `f < completed` are complete.
+    completed: u64,
+    /// Parked ranks: `(rank, fence awaited)`.
+    waiters: Vec<(usize, u64)>,
 }
 
 /// The shared scheduler: everything both `ExecComm` and the workers
@@ -149,7 +158,7 @@ struct SchedCore {
     work_cv: Condvar,
     deques: Vec<WorkDeque>,
     tasks: Vec<TaskCtl>,
-    barrier: Mutex<BarrierSt>,
+    fences: Mutex<FenceSt>,
     /// Per-destination mailboxes (send scans are per-`src` FIFO).
     mail: Vec<Mutex<VecDeque<Mail>>>,
     remaining: AtomicUsize,
@@ -198,9 +207,9 @@ impl SchedCore {
                     loan: Condvar::new(),
                 })
                 .collect(),
-            barrier: Mutex::new(BarrierSt {
-                count: 0,
-                generation: 0,
+            fences: Mutex::new(FenceSt {
+                arrived: vec![0; nranks],
+                completed: 0,
                 waiters: Vec::new(),
             }),
             mail: (0..nranks).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -352,28 +361,51 @@ impl SchedCore {
         }
     }
 
-    // ---- barrier ----------------------------------------------------
+    // ---- epoch fences -----------------------------------------------
 
-    fn barrier_arrive(&self, id: usize) -> Arrive {
-        let mut b = relock(&self.barrier);
-        b.count += 1;
-        if b.count == self.nranks {
-            b.count = 0;
-            b.generation += 1;
-            let waiters = std::mem::take(&mut b.waiters);
+    /// Arrive at this rank's next fence; returns the fence index (the
+    /// rank's 0-based arrival count). Arrival never blocks — waiting is
+    /// a separate [`Self::fence_check`] / park loop, which is what lets
+    /// a rank arrive at several fences (stage entry `i+1`, finish entry
+    /// `i`) before anyone waits on the first.
+    fn fence_arrive(&self, id: usize) -> u64 {
+        let mut b = relock(&self.fences);
+        let fence = b.arrived[id];
+        b.arrived[id] += 1;
+        let frontier = b.arrived.iter().copied().min().unwrap_or(0);
+        if frontier > b.completed {
+            b.completed = frontier;
+            // This arrival completed one or more fences: release every
+            // waiter now behind the frontier (wake after dropping the
+            // lock — wake() takes per-task locks).
+            let mut woken = Vec::new();
+            b.waiters.retain(|&(rank, f)| {
+                if f < frontier {
+                    woken.push(rank);
+                    false
+                } else {
+                    true
+                }
+            });
             drop(b);
-            for w in waiters {
+            for w in woken {
                 self.wake(w);
             }
-            Arrive::Passed
-        } else {
-            b.waiters.push(id);
-            Arrive::Waiting(b.generation)
         }
+        fence
     }
 
-    fn barrier_generation(&self) -> u64 {
-        relock(&self.barrier).generation
+    /// Whether fence `f` has completed; if not, register `id` as a
+    /// waiter (idempotently) so the completing arrival wakes it.
+    fn fence_check(&self, id: usize, f: u64) -> bool {
+        let mut b = relock(&self.fences);
+        if b.completed > f {
+            return true;
+        }
+        if !b.waiters.iter().any(|&(r, wf)| r == id && wf == f) {
+            b.waiters.push((id, f));
+        }
+        false
     }
 
     // ---- mailboxes --------------------------------------------------
@@ -430,7 +462,7 @@ pub struct ExecComm {
     core: Arc<SchedCore>,
     recorder: Recorder,
     ws: GemmWorkspace,
-    /// Split-barrier bookkeeping for FSM ranks: generation awaited and
+    /// Split-barrier bookkeeping for FSM ranks: fence index awaited and
     /// the span start time.
     arrived: Option<(u64, f64)>,
 }
@@ -475,14 +507,33 @@ impl ExecComm {
         }
     }
 
+    /// Arrive at this rank's next **epoch fence** and return its index.
+    /// Never blocks. Every rank must arrive at fences in the same
+    /// program order (the batched driver's per-entry "staged" and
+    /// "done" fences); fence `f` completes once every rank has made its
+    /// `f`-th arrival. Pair with [`Self::fence_try`] to wait.
+    pub fn fence_arrive(&mut self) -> u64 {
+        self.core.fence_arrive(self.rank)
+    }
+
+    /// Poll fence `f` (state-machine ranks): `true` once it completed;
+    /// otherwise this rank is registered as a waiter and the caller
+    /// should return [`Step::Park`] — the completing arrival re-enqueues
+    /// the task.
+    pub fn fence_try(&mut self, f: u64) -> bool {
+        self.core.fence_check(self.rank, f)
+    }
+
     /// Nonblocking barrier for state-machine ranks: arrive on the first
     /// call, then poll. Returns `true` once the barrier has passed —
-    /// until then the caller should return [`Step::Park`] (the arrival
-    /// registered it as a waiter).
+    /// until then the caller should return [`Step::Park`] (the poll
+    /// registered it as a waiter). Built on the fence machinery: a full
+    /// barrier is an arrival immediately followed by a wait on the same
+    /// fence.
     pub fn barrier_try(&mut self) -> bool {
         match self.arrived {
-            Some((gen, t0)) => {
-                if self.core.barrier_generation() > gen {
+            Some((f, t0)) => {
+                if self.core.fence_check(self.rank, f) {
                     self.arrived = None;
                     self.span_end(TraceKind::Barrier, t0, 0, String::new);
                     true
@@ -492,16 +543,14 @@ impl ExecComm {
             }
             None => {
                 let t0 = self.span_start();
-                match self.core.barrier_arrive(self.rank) {
-                    Arrive::Passed => {
-                        self.span_end(TraceKind::Barrier, t0, 0, String::new);
-                        true
-                    }
-                    Arrive::Waiting(gen) => {
-                        self.arrived = Some((gen, t0));
-                        self.mark_park();
-                        false
-                    }
+                let f = self.core.fence_arrive(self.rank);
+                if self.core.fence_check(self.rank, f) {
+                    self.span_end(TraceKind::Barrier, t0, 0, String::new);
+                    true
+                } else {
+                    self.arrived = Some((f, t0));
+                    self.mark_park();
+                    false
                 }
             }
         }
@@ -539,6 +588,10 @@ impl Comm for ExecComm {
         &mut self.recorder
     }
 
+    fn ws_grow_count(&self) -> u64 {
+        self.ws.grow_count()
+    }
+
     fn barrier(&mut self) {
         let t0 = self.span_start();
         match self.mode {
@@ -546,16 +599,13 @@ impl Comm for ExecComm {
                 "state-machine rank tasks must use ExecComm::barrier_try and Step::Park, \
                  not the blocking Comm::barrier"
             ),
-            TaskMode::Gate => match self.core.barrier_arrive(self.rank) {
-                Arrive::Passed => {}
-                Arrive::Waiting(gen) => loop {
+            TaskMode::Gate => {
+                let f = self.core.fence_arrive(self.rank);
+                while !self.core.fence_check(self.rank, f) {
                     self.mark_park();
                     self.core.gate_park(self.rank);
-                    if self.core.barrier_generation() > gen {
-                        break;
-                    }
-                },
-            },
+                }
+            }
         }
         self.span_end(TraceKind::Barrier, t0, 0, String::new);
     }

@@ -149,6 +149,10 @@ impl Comm for SimComm {
         &mut self.recorder
     }
 
+    fn ws_grow_count(&self) -> u64 {
+        self.ws.grow_count()
+    }
+
     fn barrier(&mut self) {
         self.proc.barrier();
     }

@@ -143,6 +143,10 @@ impl Comm for ThreadComm {
         &mut self.recorder
     }
 
+    fn ws_grow_count(&self) -> u64 {
+        self.ws.grow_count()
+    }
+
     fn barrier(&mut self) {
         let t0 = self.span_start();
         self.barrier.wait();

@@ -1,0 +1,778 @@
+//! Batched multi-GEMM driver: one executor, one arena, amortized
+//! synchronization across a stream of multiplies.
+//!
+//! SRUMMA's per-multiply fixed costs — arena allocation, rank spawn,
+//! and the open/close barrier pair — are negligible for one large
+//! product but dominate a *stream* of small-to-medium tiles (the
+//! chemistry-style workloads behind task-based SUMMA descendants).
+//! This module runs a whole [`BatchSpec`] with those costs paid once:
+//!
+//! * **one arena** — a ring of `window` slots, each holding one A, B
+//!   and C region per rank, sized up front to the batch high-water
+//!   mark ([`crate::memory::batch_region_elems`]); entry `e` lives in
+//!   slot `e % window`;
+//! * **one worker pool** — [`multiply_batch_exec`] keeps a single
+//!   `ExecComm` executor (and each rank's gemm workspace and
+//!   [`MachineScratch`]) alive across every entry, so
+//!   `ws_grow_count() ≤ 1` holds for the whole stream;
+//! * **epoch fences instead of barriers** — each entry has a *staged*
+//!   fence (all ranks loaded its operands) and a *done* fence (all
+//!   ranks computed and extracted it), built on the executor's
+//!   never-blocking [`srumma_comm::ExecComm::fence_arrive`] /
+//!   [`srumma_comm::ExecComm::fence_try`]. A rank that finishes entry
+//!   `i` immediately stages entry `i+1` while stragglers finish `i` —
+//!   the paper's communication/computation overlap lifted from the
+//!   task level to the batch level.
+//!
+//! Per rank, with `n` entries and a `window ≥ 2` slot ring:
+//!
+//! ```text
+//! stage(0); arrive staged(0)
+//! for e in 0..n:
+//!     if e+1 < n:
+//!         if e+1 ≥ window: wait done(e+1−window)   # slot must be free
+//!         stage(e+1); arrive staged(e+1)
+//!     wait staged(e); compute(e); extract(e); arrive done(e)
+//! ```
+//!
+//! `window == 1` degenerates to the serialized variant (stage gated on
+//! the previous entry's done fence) — the loop-of-multiplies shape,
+//! still on one arena and one pool. Blocking backends (threads,
+//! simulator) run the same program with every `arrive` a full barrier
+//! and every `wait` a no-op, which is what makes the three-backend
+//! correctness matrix possible.
+
+use crate::driver::{default_grid, TracedRun};
+use crate::layout::{dist_a_in_arena, dist_b_in_arena, dist_c_in_arena};
+use crate::memory::batch_region_elems;
+use crate::options::{GemmSpec, SrummaOptions};
+use crate::srumma::{MachineScratch, SrummaMachine, SrummaReport};
+use srumma_comm::{
+    exec_run_tasks, sim_run, thread_run, Comm, DistMatrix, ExecComm, RankTask, SharedArena,
+    SimOptions, Step,
+};
+use srumma_dense::{Matrix, Op};
+use srumma_model::Machine;
+use srumma_trace::{BatchStats, EntryRankSample, EntryStats};
+use std::sync::{Arc, Mutex};
+
+/// One multiply of a batch: a spec, its logical operands (`a` is
+/// `m × k`, `b` is `k × n`, transposition resolved by the layout layer
+/// exactly as in [`crate::layout::scatter_operands`]), an optional
+/// initial C (`m × n`, scaled by `spec.beta`) and an optional per-entry
+/// options override.
+#[derive(Clone)]
+pub struct BatchEntry {
+    /// The multiply.
+    pub spec: GemmSpec,
+    /// Logical `m × k` A.
+    pub a: Matrix,
+    /// Logical `k × n` B.
+    pub b: Matrix,
+    /// Initial C for `β`-accumulation (zeros when absent).
+    pub c0: Option<Matrix>,
+    /// Per-entry override of the batch's default options.
+    pub opts: Option<SrummaOptions>,
+}
+
+impl BatchEntry {
+    /// An entry with zero initial C and the batch's default options.
+    pub fn new(spec: GemmSpec, a: Matrix, b: Matrix) -> Self {
+        assert_eq!((a.rows(), a.cols()), (spec.m, spec.k), "A must be m x k");
+        assert_eq!((b.rows(), b.cols()), (spec.k, spec.n), "B must be k x n");
+        BatchEntry {
+            spec,
+            a,
+            b,
+            c0: None,
+            opts: None,
+        }
+    }
+
+    /// Accumulate onto `c0` (scaled by `spec.beta`).
+    pub fn with_c0(mut self, c0: Matrix) -> Self {
+        assert_eq!((c0.rows(), c0.cols()), (self.spec.m, self.spec.n));
+        self.c0 = Some(c0);
+        self
+    }
+
+    /// Override the batch's default SRUMMA options for this entry.
+    pub fn with_opts(mut self, opts: SrummaOptions) -> Self {
+        self.opts = Some(opts);
+        self
+    }
+}
+
+/// A stream of multiplies to run on one executor and one arena.
+#[derive(Clone)]
+pub struct BatchSpec {
+    /// The entries, executed in order (results are order-stable).
+    pub entries: Vec<BatchEntry>,
+    /// Default options for entries without an override.
+    pub opts: SrummaOptions,
+    /// Slot-ring size: how many entries may be resident at once.
+    /// `1` serializes entries (the loop-of-multiplies shape); the
+    /// default `3` lets a rank stage entry `e+1` while it computes `e`
+    /// and stragglers still read `e−1`.
+    pub window: usize,
+}
+
+impl Default for BatchSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchSpec {
+    /// An empty batch with default options and a 3-slot ring.
+    pub fn new() -> Self {
+        BatchSpec {
+            entries: Vec::new(),
+            opts: SrummaOptions::default(),
+            window: 3,
+        }
+    }
+
+    /// Set the default options for all entries.
+    pub fn with_opts(mut self, opts: SrummaOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Set the slot-ring size (clamped to `[1, entries]` at run time).
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "batch window must be at least 1");
+        self.window = window;
+        self
+    }
+
+    /// Append an entry.
+    pub fn push(&mut self, entry: BatchEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Effective options of entry `e`.
+    pub fn entry_opts(&self, e: usize) -> SrummaOptions {
+        self.entries[e].opts.unwrap_or(self.opts)
+    }
+
+    /// Total useful flops of the stream.
+    pub fn flops(&self) -> f64 {
+        self.entries.iter().map(|e| e.spec.flops()).sum()
+    }
+}
+
+/// Per-entry layout over the shared slot ring.
+struct EntryPlan {
+    spec: GemmSpec,
+    opts: SrummaOptions,
+    da: DistMatrix,
+    db: DistMatrix,
+    dc: DistMatrix,
+}
+
+/// Build the one shared arena (slot ring sized to the batch high-water
+/// mark) and the per-entry distributed views into it. Region id of rank
+/// `r`'s role-`o` block in slot `s` is `s·nranks·3 + 3r + o` — i.e.
+/// each entry's `DistMatrix` uses `base = slot·nranks·3 + role`,
+/// `stride = 3`.
+fn build_storage(
+    batch: &BatchSpec,
+    grid: srumma_model::ProcGrid,
+    window: usize,
+) -> (Arc<SharedArena>, Vec<EntryPlan>) {
+    let n = grid.nranks();
+    let specs: Vec<GemmSpec> = batch.entries.iter().map(|e| e.spec).collect();
+    let (ea, eb, ec) = batch_region_elems(&specs, grid);
+    let mut lens = Vec::with_capacity(window * n * 3);
+    for _slot in 0..window {
+        for r in 0..n {
+            lens.push(ea[r]);
+            lens.push(eb[r]);
+            lens.push(ec[r]);
+        }
+    }
+    let (arena, _offsets) = SharedArena::new(&lens);
+    let plans = batch
+        .entries
+        .iter()
+        .enumerate()
+        .map(|(e, entry)| {
+            let slot = e % window;
+            let base = slot * n * 3;
+            EntryPlan {
+                spec: entry.spec,
+                opts: batch.entry_opts(e),
+                da: dist_a_in_arena(&entry.spec, grid, Arc::clone(&arena), base, 3),
+                db: dist_b_in_arena(&entry.spec, grid, Arc::clone(&arena), base + 1, 3),
+                dc: dist_c_in_arena(&entry.spec, grid, Arc::clone(&arena), base + 2, 3),
+            }
+        })
+        .collect();
+    (arena, plans)
+}
+
+/// Stage this rank's stored blocks of entry `e` into its slot: A and B
+/// in stored orientation (element-transposed in place for the `T`
+/// cases, mirroring [`crate::layout::scatter_operands`] without
+/// materializing a transposed copy), C from `c0` or zeros. Writes only
+/// this rank's own regions — no synchronization needed beyond the slot
+/// being free.
+fn stage_entry(entry: &BatchEntry, plan: &EntryPlan, rank: usize) {
+    {
+        let (r0, c0) = plan.da.block_origin(rank);
+        let mut w = plan.da.write_block(rank);
+        if let Some(mut dst) = w.mat_mut() {
+            match plan.spec.transa {
+                Op::N => dst.copy_from(entry.a.block(r0, c0, dst.rows(), dst.cols())),
+                Op::T => {
+                    for i in 0..dst.rows() {
+                        for j in 0..dst.cols() {
+                            *dst.at_mut(i, j) = entry.a[(c0 + j, r0 + i)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    {
+        let (r0, c0) = plan.db.block_origin(rank);
+        let mut w = plan.db.write_block(rank);
+        if let Some(mut dst) = w.mat_mut() {
+            match plan.spec.transb {
+                Op::N => dst.copy_from(entry.b.block(r0, c0, dst.rows(), dst.cols())),
+                Op::T => {
+                    for i in 0..dst.rows() {
+                        for j in 0..dst.cols() {
+                            *dst.at_mut(i, j) = entry.b[(c0 + j, r0 + i)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    {
+        let (r0, c0) = plan.dc.block_origin(rank);
+        let mut w = plan.dc.write_block(rank);
+        if let Some(mut dst) = w.mat_mut() {
+            // A slot's C region holds a previous entry's stale result —
+            // zeros must be written explicitly.
+            match &entry.c0 {
+                Some(c) => dst.copy_from(c.block(r0, c0, dst.rows(), dst.cols())),
+                None => dst.fill(0.0),
+            }
+        }
+    }
+}
+
+/// Copy this rank's finished C block of entry `e` into the per-entry
+/// output (disjoint blocks; the lock only serializes the bookkeeping).
+fn extract_entry(plan: &EntryPlan, rank: usize, out: &Mutex<Matrix>) {
+    let blk = plan.dc.read_block(rank);
+    let Some(src) = blk.mat() else {
+        return;
+    };
+    let (r0, c0) = plan.dc.block_origin(rank);
+    let mut out = out.lock().expect("output lock");
+    out.block_mut(r0, c0, src.rows(), src.cols()).copy_from(src);
+}
+
+/// One rank's results for the whole stream.
+pub struct BatchRankOut {
+    /// Per-entry SRUMMA reports (tasks, fetched/direct blocks).
+    pub reports: Vec<SrummaReport>,
+    /// Per-entry timing samples for the [`BatchStats`] rollup.
+    pub samples: Vec<EntryRankSample>,
+    /// Final gemm-workspace grow count — the grow-at-most-once
+    /// regression asserts this stays `≤ 1` across the whole batch.
+    pub ws_grow_count: u64,
+}
+
+/// The batch program on a blocking backend (threads, simulator): same
+/// staging/compute order as the executor path, with every fence arrival
+/// a full barrier (so the waits are trivially satisfied and elided).
+fn run_rank_blocking<C: Comm>(
+    comm: &mut C,
+    batch: &BatchSpec,
+    plans: &[EntryPlan],
+    outputs: &[Mutex<Matrix>],
+    window: usize,
+) -> BatchRankOut {
+    let n = plans.len();
+    let rank = comm.rank();
+    let mut samples = vec![EntryRankSample::default(); n];
+    let mut reports = Vec::with_capacity(n);
+    let mut scratch = MachineScratch::default();
+
+    let stage = |comm: &mut C, e: usize, samples: &mut [EntryRankSample]| {
+        let t0 = comm.now();
+        samples[e].t_start = t0;
+        stage_entry(&batch.entries[e], &plans[e], rank);
+        samples[e].stage_s += comm.now() - t0;
+    };
+    let fence = |comm: &mut C, s: &mut EntryRankSample| {
+        let t0 = comm.now();
+        comm.barrier();
+        s.fence_s += comm.now() - t0;
+    };
+
+    let compute = |comm: &mut C,
+                   e: usize,
+                   scratch: MachineScratch,
+                   samples: &mut [EntryRankSample]|
+     -> (SrummaReport, MachineScratch) {
+        let plan = &plans[e];
+        let t0 = comm.now();
+        let mut machine = SrummaMachine::new_reusing(
+            comm, &plan.spec, &plan.da, &plan.db, &plan.dc, &plan.opts, scratch,
+        );
+        while machine.step(comm) {}
+        let (report, scratch) = machine.into_scratch();
+        extract_entry(plan, rank, &outputs[e]);
+        samples[e].compute_s += comm.now() - t0;
+        (report, scratch)
+    };
+
+    if n > 0 && window >= 2 {
+        stage(comm, 0, &mut samples);
+        fence(comm, &mut samples[0]);
+        for e in 0..n {
+            if e + 1 < n {
+                // The slot of entry `e+1` was freed by the done barrier
+                // of entry `e+1−window ≤ e−1`, which this iteration's
+                // predecessor already passed.
+                stage(comm, e + 1, &mut samples);
+                fence(comm, &mut samples[e + 1]);
+            }
+            let (report, s) = compute(comm, e, scratch, &mut samples);
+            scratch = s;
+            reports.push(report);
+            fence(comm, &mut samples[e]);
+            samples[e].t_end = comm.now();
+        }
+    } else {
+        for e in 0..n {
+            stage(comm, e, &mut samples);
+            fence(comm, &mut samples[e]);
+            let (report, s) = compute(comm, e, scratch, &mut samples);
+            scratch = s;
+            reports.push(report);
+            fence(comm, &mut samples[e]);
+            samples[e].t_end = comm.now();
+        }
+    }
+    BatchRankOut {
+        reports,
+        samples,
+        ws_grow_count: comm.ws_grow_count(),
+    }
+}
+
+/// Where a [`BatchRankTask`] resumes on its next poll.
+enum BatchState {
+    /// Stage entry 0 and arrive at its staged fence.
+    Start,
+    /// Pipelined iteration head for entry `e`: gate on the slot of
+    /// `e+1`, stage it, then wait for `e`'s staged fence.
+    Head { e: usize },
+    /// Parked until the slot of entry `e+1` is free (its previous
+    /// occupant's done fence).
+    WaitSlot { e: usize },
+    /// Serialized (window 1) stage of entry `e`, gated on `e−1` done.
+    SerialStage { e: usize },
+    /// Parked until all ranks have staged entry `e`.
+    WaitStaged { e: usize },
+    /// Driving entry `e`'s [`SrummaMachine`], a stride per poll.
+    Compute { e: usize },
+}
+
+/// The whole batch as **one** schedulable rank task on the
+/// work-stealing executor: per-entry epoch fences are park points, so a
+/// rank blocked on a straggler costs a deque entry, not an OS thread,
+/// and the worker slot immediately runs another rank's staging or
+/// compute for a different entry.
+pub struct BatchRankTask<'a> {
+    comm: ExecComm,
+    batch: &'a BatchSpec,
+    plans: &'a [EntryPlan],
+    outputs: &'a [Mutex<Matrix>],
+    window: usize,
+    state: BatchState,
+    machine: Option<SrummaMachine<'a>>,
+    scratch: MachineScratch,
+    /// Fence indices of this rank's staged/done arrivals, by entry.
+    sf: Vec<u64>,
+    df: Vec<u64>,
+    /// Wall time the current fence wait began (None when not waiting).
+    wait_t0: Option<f64>,
+    samples: Vec<EntryRankSample>,
+    reports: Vec<SrummaReport>,
+}
+
+impl<'a> BatchRankTask<'a> {
+    /// Machine steps per poll — same amortization/interleaving tradeoff
+    /// as [`crate::srumma::SrummaRankTask`].
+    const STRIDE: usize = 8;
+
+    fn new(
+        comm: ExecComm,
+        batch: &'a BatchSpec,
+        plans: &'a [EntryPlan],
+        outputs: &'a [Mutex<Matrix>],
+        window: usize,
+    ) -> Self {
+        let n = plans.len();
+        BatchRankTask {
+            comm,
+            batch,
+            plans,
+            outputs,
+            window,
+            state: BatchState::Start,
+            machine: None,
+            scratch: MachineScratch::default(),
+            sf: Vec::with_capacity(n),
+            df: Vec::with_capacity(n),
+            wait_t0: None,
+            samples: vec![EntryRankSample::default(); n],
+            reports: Vec::with_capacity(n),
+        }
+    }
+
+    fn stage(&mut self, e: usize) {
+        let t0 = self.comm.now();
+        self.samples[e].t_start = t0;
+        stage_entry(&self.batch.entries[e], &self.plans[e], self.comm.rank());
+        self.samples[e].stage_s += self.comm.now() - t0;
+        self.sf.push(self.comm.fence_arrive());
+        debug_assert_eq!(self.sf.len(), e + 1);
+    }
+
+    /// Poll fence `f`; on failure remember when the wait began (the
+    /// task is now registered as a waiter and should park), on success
+    /// charge the elapsed wait to `samples[entry].fence_s`.
+    fn fence_poll(&mut self, f: u64, entry: usize) -> bool {
+        if self.comm.fence_try(f) {
+            if let Some(t0) = self.wait_t0.take() {
+                self.samples[entry].fence_s += self.comm.now() - t0;
+            }
+            true
+        } else {
+            if self.wait_t0.is_none() {
+                self.wait_t0 = Some(self.comm.now());
+            }
+            false
+        }
+    }
+
+    fn take_out(&mut self) -> BatchRankOut {
+        BatchRankOut {
+            reports: std::mem::take(&mut self.reports),
+            samples: std::mem::take(&mut self.samples),
+            ws_grow_count: self.comm.ws_grow_count(),
+        }
+    }
+}
+
+impl RankTask for BatchRankTask<'_> {
+    type Out = BatchRankOut;
+
+    fn step(&mut self) -> Step<BatchRankOut> {
+        loop {
+            match self.state {
+                BatchState::Start => {
+                    if self.plans.is_empty() {
+                        return Step::Done(self.take_out());
+                    }
+                    if self.window >= 2 {
+                        self.stage(0);
+                        self.state = BatchState::Head { e: 0 };
+                    } else {
+                        self.state = BatchState::SerialStage { e: 0 };
+                    }
+                    return Step::Yield;
+                }
+                BatchState::Head { e } => {
+                    if e + 1 < self.plans.len() {
+                        if e + 1 >= self.window {
+                            let f = self.df[e + 1 - self.window];
+                            if !self.fence_poll(f, e + 1) {
+                                self.state = BatchState::WaitSlot { e };
+                                return Step::Park;
+                            }
+                        }
+                        self.stage(e + 1);
+                    }
+                    self.state = BatchState::WaitStaged { e };
+                }
+                BatchState::WaitSlot { e } => {
+                    let f = self.df[e + 1 - self.window];
+                    if !self.fence_poll(f, e + 1) {
+                        return Step::Park;
+                    }
+                    self.stage(e + 1);
+                    self.state = BatchState::WaitStaged { e };
+                }
+                BatchState::SerialStage { e } => {
+                    if e > 0 {
+                        let f = self.df[e - 1];
+                        if !self.fence_poll(f, e) {
+                            return Step::Park;
+                        }
+                    }
+                    self.stage(e);
+                    self.state = BatchState::WaitStaged { e };
+                }
+                BatchState::WaitStaged { e } => {
+                    if !self.fence_poll(self.sf[e], e) {
+                        return Step::Park;
+                    }
+                    self.state = BatchState::Compute { e };
+                    return Step::Yield;
+                }
+                BatchState::Compute { e } => {
+                    let t0 = self.comm.now();
+                    if self.machine.is_none() {
+                        let plan: &'_ EntryPlan = &self.plans[e];
+                        let scratch = std::mem::take(&mut self.scratch);
+                        self.machine = Some(SrummaMachine::new_reusing(
+                            &mut self.comm,
+                            &plan.spec,
+                            &plan.da,
+                            &plan.db,
+                            &plan.dc,
+                            &plan.opts,
+                            scratch,
+                        ));
+                    }
+                    let machine = self.machine.as_mut().expect("machine built above");
+                    let mut more = machine.has_work();
+                    for _ in 0..Self::STRIDE {
+                        if !more {
+                            break;
+                        }
+                        more = machine.step(&mut self.comm);
+                    }
+                    if more {
+                        self.samples[e].compute_s += self.comm.now() - t0;
+                        return Step::Yield;
+                    }
+                    // Release the C write guard (into_scratch) before
+                    // arriving at the done fence — peers passing it may
+                    // restage this slot.
+                    let (report, scratch) =
+                        self.machine.take().expect("machine exists").into_scratch();
+                    self.scratch = scratch;
+                    self.reports.push(report);
+                    extract_entry(&self.plans[e], self.comm.rank(), &self.outputs[e]);
+                    self.samples[e].compute_s += self.comm.now() - t0;
+                    self.samples[e].t_end = self.comm.now();
+                    self.df.push(self.comm.fence_arrive());
+                    debug_assert_eq!(self.df.len(), e + 1);
+                    if e + 1 < self.plans.len() {
+                        self.state = if self.window >= 2 {
+                            BatchState::Head { e: e + 1 }
+                        } else {
+                            BatchState::SerialStage { e: e + 1 }
+                        };
+                        return Step::Yield;
+                    }
+                    return Step::Done(self.take_out());
+                }
+            }
+        }
+    }
+
+    fn take_trace(&mut self) -> (Vec<srumma_trace::TraceEvent>, srumma_trace::Counters) {
+        self.comm.recorder().take()
+    }
+}
+
+/// Results of a batched run.
+pub struct BatchResult {
+    /// Per-entry numeric results, in batch order.
+    pub outputs: Vec<Matrix>,
+    /// Per-entry SRUMMA reports summed across ranks.
+    pub reports: Vec<SrummaReport>,
+    /// Per-rank gemm-workspace grow counts (each must stay `≤ 1`).
+    pub ws_grow_counts: Vec<u64>,
+    /// The per-entry / whole-stream metrics rollup.
+    pub stats: BatchStats,
+}
+
+fn entry_label(spec: &GemmSpec) -> String {
+    format!("{} {}x{}x{}", spec.case_label(), spec.m, spec.n, spec.k)
+}
+
+fn assemble_batch(
+    batch: &BatchSpec,
+    outputs: Vec<Mutex<Matrix>>,
+    rank_outs: Vec<BatchRankOut>,
+    wall_s: f64,
+) -> BatchResult {
+    let n = batch.entries.len();
+    let mut reports = vec![SrummaReport::default(); n];
+    let mut entries = Vec::with_capacity(n);
+    for (e, entry) in batch.entries.iter().enumerate() {
+        let mut samples = Vec::with_capacity(rank_outs.len());
+        for ro in &rank_outs {
+            samples.push(ro.samples[e]);
+            reports[e].tasks += ro.reports[e].tasks;
+            reports[e].fetched_blocks += ro.reports[e].fetched_blocks;
+            reports[e].direct_blocks += ro.reports[e].direct_blocks;
+        }
+        entries.push(EntryStats {
+            index: e,
+            label: entry_label(&entry.spec),
+            flops: entry.spec.flops(),
+            samples,
+        });
+    }
+    BatchResult {
+        outputs: outputs
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect(),
+        reports,
+        ws_grow_counts: rank_outs.iter().map(|ro| ro.ws_grow_count).collect(),
+        stats: BatchStats::from_entries(entries, wall_s),
+    }
+}
+
+fn effective_window(batch: &BatchSpec) -> usize {
+    batch.window.clamp(1, batch.entries.len().max(1))
+}
+
+fn empty_result() -> BatchResult {
+    BatchResult {
+        outputs: Vec::new(),
+        reports: Vec::new(),
+        ws_grow_counts: Vec::new(),
+        stats: BatchStats::from_entries(Vec::new(), 0.0),
+    }
+}
+
+/// Run the batch on real host threads (one thread per rank, blocking
+/// barriers at the fence points). The correctness baseline for the
+/// executor path — same staging, same slot ring, same arena.
+pub fn multiply_batch(batch: &BatchSpec, nranks: usize) -> BatchResult {
+    if batch.entries.is_empty() {
+        return empty_result();
+    }
+    let grid = default_grid(nranks);
+    let window = effective_window(batch);
+    let (_arena, plans) = build_storage(batch, grid, window);
+    let outputs: Vec<Mutex<Matrix>> = batch
+        .entries
+        .iter()
+        .map(|e| Mutex::new(Matrix::zeros(e.spec.m, e.spec.n)))
+        .collect();
+    let res = thread_run(nranks, |comm| {
+        run_rank_blocking(comm, batch, &plans, &outputs, window)
+    });
+    assemble_batch(batch, outputs, res.outputs, res.wall_seconds)
+}
+
+/// Run the batch under the virtual-time simulator (real data, modeled
+/// time) — the third leg of the correctness matrix.
+pub fn multiply_batch_sim(batch: &BatchSpec, machine: &Machine, nranks: usize) -> BatchResult {
+    if batch.entries.is_empty() {
+        return empty_result();
+    }
+    let grid = default_grid(nranks);
+    let window = effective_window(batch);
+    let (_arena, plans) = build_storage(batch, grid, window);
+    let outputs: Vec<Mutex<Matrix>> = batch
+        .entries
+        .iter()
+        .map(|e| Mutex::new(Matrix::zeros(e.spec.m, e.spec.n)))
+        .collect();
+    let opts = SimOptions::new(machine.clone(), nranks);
+    let res = sim_run(&opts, |comm| {
+        run_rank_blocking(comm, batch, &plans, &outputs, window)
+    });
+    assemble_batch(batch, outputs, res.outputs, res.stats.makespan)
+}
+
+/// Run the batch on the work-stealing executor: `nranks` logical ranks
+/// on `workers` worker threads, **one** pool and **one** arena for the
+/// whole stream, per-entry epoch fences instead of open/close barrier
+/// pairs. This is the tentpole path — independent entries overlap.
+pub fn multiply_batch_exec(batch: &BatchSpec, nranks: usize, workers: usize) -> BatchResult {
+    multiply_batch_exec_inner(batch, nranks, workers, false).0
+}
+
+/// [`multiply_batch_exec`] with wall-clock event tracing on: returns
+/// the batch result plus the merged scheduler/kernel timeline and
+/// executor statistics.
+pub fn multiply_batch_traced(
+    batch: &BatchSpec,
+    nranks: usize,
+    workers: usize,
+) -> (BatchResult, TracedRun) {
+    let (res, traced) = multiply_batch_exec_inner(batch, nranks, workers, true);
+    (res, traced.expect("traced run requested"))
+}
+
+fn multiply_batch_exec_inner(
+    batch: &BatchSpec,
+    nranks: usize,
+    workers: usize,
+    trace: bool,
+) -> (BatchResult, Option<TracedRun>) {
+    if batch.entries.is_empty() {
+        return (empty_result(), None);
+    }
+    let grid = default_grid(nranks);
+    let window = effective_window(batch);
+    let (_arena, plans) = build_storage(batch, grid, window);
+    let outputs: Vec<Mutex<Matrix>> = batch
+        .entries
+        .iter()
+        .map(|e| Mutex::new(Matrix::zeros(e.spec.m, e.spec.n)))
+        .collect();
+    let res = exec_run_tasks(nranks, workers, trace, |comm| {
+        Box::new(BatchRankTask::new(comm, batch, &plans, &outputs, window))
+    });
+    let traced = if trace {
+        Some(TracedRun {
+            stats: res.stats,
+            trace: res.trace,
+        })
+    } else {
+        None
+    };
+    (
+        assemble_batch(batch, outputs, res.outputs, res.wall_seconds),
+        traced,
+    )
+}
+
+/// Serial reference for every entry: `C_e = α·A_e·B_e + β·C0_e` (zeros
+/// when `c0` is absent) — operands logical, exactly as the batch stages
+/// them.
+pub fn batch_serial_reference(batch: &BatchSpec) -> Vec<Matrix> {
+    batch
+        .entries
+        .iter()
+        .map(|e| {
+            let mut c = match &e.c0 {
+                Some(c0) => c0.clone(),
+                None => Matrix::zeros(e.spec.m, e.spec.n),
+            };
+            c.as_mut().scale(e.spec.beta);
+            if e.spec.k > 0 {
+                srumma_dense::dgemm(
+                    Op::N,
+                    Op::N,
+                    e.spec.alpha,
+                    e.a.as_ref(),
+                    e.b.as_ref(),
+                    1.0,
+                    c.as_mut(),
+                );
+            }
+            c
+        })
+        .collect()
+}

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod api;
+pub mod batch;
 pub mod cannon;
 pub mod driver;
 pub mod layout;
@@ -44,6 +45,10 @@ pub mod summa;
 pub mod taskorder;
 
 pub use api::{parallel_gemm, Algorithm};
+pub use batch::{
+    batch_serial_reference, multiply_batch, multiply_batch_exec, multiply_batch_sim,
+    multiply_batch_traced, BatchEntry, BatchResult, BatchSpec,
+};
 pub use options::{GemmSpec, ShmemFlavor, SrummaOptions};
 pub use srumma::{srumma as srumma_gemm, SrummaMachine, SrummaRankTask, SrummaReport};
 pub use summa::SummaOptions;

@@ -87,6 +87,47 @@ pub fn cannon_footprint(spec: &GemmSpec, grid: ProcGrid) -> Footprint {
     }
 }
 
+/// Per-rank region element counts for the batched driver's slot ring:
+/// `(a, b, c)` where `a[r]` is the largest *stored* A block any entry
+/// of the batch places on rank `r` (likewise B, C). Every slot of the
+/// ring reuses the same regions, so they are sized to this batch
+/// high-water mark once, up front — no per-entry reallocation.
+pub fn batch_region_elems(
+    specs: &[GemmSpec],
+    grid: ProcGrid,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let n = grid.nranks();
+    let (mut ea, mut eb, mut ec) = (vec![0usize; n], vec![0usize; n], vec![0usize; n]);
+    for spec in specs {
+        let da = crate::layout::dist_a(spec, grid, false);
+        let db = crate::layout::dist_b(spec, grid, false);
+        let dc = crate::layout::dist_c(spec, grid, false);
+        for r in 0..n {
+            let (ar, ac) = da.block_dims(r);
+            let (br, bc) = db.block_dims(r);
+            let (cr, cc) = dc.block_dims(r);
+            ea[r] = ea[r].max(ar * ac);
+            eb[r] = eb[r].max(br * bc);
+            ec[r] = ec[r].max(cr * cc);
+        }
+    }
+    (ea, eb, ec)
+}
+
+/// Total bytes of the batched driver's **single** shared arena for a
+/// `window`-slot ring over `specs`: one A + B + C region per rank per
+/// slot, each sized to the batch high-water mark. Compare against
+/// `Σ_e (A_e + B_e + C_e)` to see what the slot ring saves on long
+/// streams.
+pub fn batch_arena_footprint(specs: &[GemmSpec], grid: ProcGrid, window: usize) -> Footprint {
+    let (ea, eb, ec) = batch_region_elems(specs, grid);
+    let per_slot: usize = ea.iter().chain(&eb).chain(&ec).sum();
+    Footprint {
+        buffer_bytes: (window * per_slot * 8) as u64,
+        buffers: 3 * grid.nranks() * window,
+    }
+}
+
 /// SUMMA's per-rank footprint for panel width `nb` (or the natural
 /// block panels): the received A and B strips.
 pub fn summa_footprint(spec: &GemmSpec, grid: ProcGrid, opts: &SummaOptions) -> Footprint {

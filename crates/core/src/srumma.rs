@@ -22,7 +22,7 @@
 
 use crate::layout::{a_owner, a_seg_view, b_owner, b_seg_view};
 use crate::options::{GemmSpec, ShmemFlavor, SrummaOptions};
-use crate::taskorder::{build_tasks, diagonal_shift_origin, order_tasks, Task};
+use crate::taskorder::{build_tasks_into, diagonal_shift_origin, order_tasks_into, Task};
 use srumma_comm::{Comm, DistMatrix, ExecComm, GetHandle, RankTask, Step};
 use srumma_dense::MatRef;
 use srumma_trace::TraceKind;
@@ -62,15 +62,28 @@ struct Slot {
 
 impl Pipeline {
     fn new(depth: usize) -> Self {
-        Pipeline {
-            slots: (0..depth + 1)
-                .map(|_| Slot {
-                    panel: None,
-                    buf: Vec::new(),
-                    pending: None,
-                    dims: (0, 0),
-                })
-                .collect(),
+        let mut p = Pipeline { slots: Vec::new() };
+        p.reset(depth);
+        p
+    }
+
+    /// Re-arm for a new multiply at pipeline depth `depth`, keeping the
+    /// slot buffers (capacity) from the previous one — the batched
+    /// driver's grow-at-most-once property depends on fetch buffers
+    /// surviving across entries just like the gemm workspace does.
+    fn reset(&mut self, depth: usize) {
+        for s in &self.slots {
+            assert!(s.pending.is_none(), "pipeline reset with a get in flight");
+        }
+        self.slots.resize_with(depth + 1, || Slot {
+            panel: None,
+            buf: Vec::new(),
+            pending: None,
+            dims: (0, 0),
+        });
+        for s in &mut self.slots {
+            s.panel = None;
+            s.dims = (0, 0);
         }
     }
 
@@ -137,6 +150,26 @@ impl Pipeline {
     }
 }
 
+/// Reusable per-rank allocations of a [`SrummaMachine`] — the
+/// **batch-continuation mode**. A machine consumed with
+/// [`SrummaMachine::into_scratch`] hands back its task list, ordering,
+/// source table, prefetch pipelines (with their fetch buffers) and
+/// window vectors; [`SrummaMachine::new_reusing`] re-arms them for the
+/// next multiply in a stream. Combined with the backend's persistent
+/// [`srumma_dense` gemm workspace](srumma_comm::Comm::ws_grow_count),
+/// a whole batch of multiplies runs with no steady-state per-entry
+/// heap allocation.
+#[derive(Default)]
+pub struct MachineScratch {
+    tasks: Vec<Task>,
+    order: Vec<usize>,
+    sources: Vec<(Source, Source)>,
+    a_pipe: Option<Pipeline>,
+    b_pipe: Option<Pipeline>,
+    wa: Vec<usize>,
+    wb: Vec<usize>,
+}
+
 /// SRUMMA's per-rank task loop as a resumable state machine: all the
 /// setup in [`SrummaMachine::new`], one pipelined task per
 /// [`SrummaMachine::step`], the C write-guard released by
@@ -182,6 +215,30 @@ impl<'a> SrummaMachine<'a> {
         c: &'a DistMatrix,
         opts: &SrummaOptions,
     ) -> Self {
+        Self::new_reusing(comm, spec, a, b, c, opts, MachineScratch::default())
+    }
+
+    /// [`SrummaMachine::new`] in batch-continuation mode: rebuild the
+    /// per-rank state inside `scratch`'s allocations (from a previous
+    /// entry's [`SrummaMachine::into_scratch`]) instead of fresh ones.
+    pub fn new_reusing<C: Comm>(
+        comm: &mut C,
+        spec: &'a GemmSpec,
+        a: &'a DistMatrix,
+        b: &'a DistMatrix,
+        c: &'a DistMatrix,
+        opts: &SrummaOptions,
+        scratch: MachineScratch,
+    ) -> Self {
+        let MachineScratch {
+            mut tasks,
+            mut order,
+            mut sources,
+            a_pipe,
+            b_pipe,
+            mut wa,
+            mut wb,
+        } = scratch;
         let me = comm.rank();
         let grid = c.grid();
         let (gi, gj) = grid.coords(me);
@@ -189,7 +246,7 @@ impl<'a> SrummaMachine<'a> {
         let bparts = crate::layout::b_kparts(grid);
         let depth = opts.effective_depth();
 
-        let tasks = build_tasks(spec.k, aparts, bparts);
+        build_tasks_into(&mut tasks, spec.k, aparts, bparts);
         let shift = if opts.diagonal_shift {
             diagonal_shift_origin(gi, gj, aparts)
         } else {
@@ -203,7 +260,15 @@ impl<'a> SrummaMachine<'a> {
             topo.same_domain(me, a_owner(spec, grid, gi, t.la))
                 && topo.same_domain(me, b_owner(spec, grid, t.lb, gj))
         };
-        let order = order_tasks(tasks.len(), &tasks, aparts, shift, opts.smp_first, is_local);
+        order_tasks_into(
+            &mut order,
+            tasks.len(),
+            &tasks,
+            aparts,
+            shift,
+            opts.smp_first,
+            is_local,
+        );
 
         // Decide each block's source once.
         let direct_ok = |owner: usize, comm: &C| match opts.shmem {
@@ -213,25 +278,23 @@ impl<'a> SrummaMachine<'a> {
         };
 
         // Pre-resolve sources per ordered task (A and B independently).
-        let sources: Vec<(Source, Source)> = order
-            .iter()
-            .map(|&idx| {
-                let t = &tasks[idx];
-                let ao = a_owner(spec, grid, gi, t.la);
-                let bo = b_owner(spec, grid, t.lb, gj);
-                let sa = if direct_ok(ao, comm) {
-                    Source::Direct { owner: ao }
-                } else {
-                    Source::Fetch { owner: ao }
-                };
-                let sb = if direct_ok(bo, comm) {
-                    Source::Direct { owner: bo }
-                } else {
-                    Source::Fetch { owner: bo }
-                };
-                (sa, sb)
-            })
-            .collect();
+        sources.clear();
+        sources.extend(order.iter().map(|&idx| {
+            let t = &tasks[idx];
+            let ao = a_owner(spec, grid, gi, t.la);
+            let bo = b_owner(spec, grid, t.lb, gj);
+            let sa = if direct_ok(ao, comm) {
+                Source::Direct { owner: ao }
+            } else {
+                Source::Fetch { owner: ao }
+            };
+            let sb = if direct_ok(bo, comm) {
+                Source::Direct { owner: bo }
+            } else {
+                Source::Fetch { owner: bo }
+            };
+            (sa, sb)
+        }));
 
         // PBLAS beta pre-pass: the owner scales its block in place. One
         // flop per C element — negligible next to the 2k flops per
@@ -245,15 +308,24 @@ impl<'a> SrummaMachine<'a> {
         debug_assert_eq!(crows, srumma_comm::dist::chunk_len(spec.m, grid.p, gi));
         debug_assert_eq!(ccols, srumma_comm::dist::chunk_len(spec.n, grid.q, gj));
 
+        let mut a_pipe = a_pipe.unwrap_or_else(|| Pipeline::new(depth));
+        let mut b_pipe = b_pipe.unwrap_or_else(|| Pipeline::new(depth));
+        a_pipe.reset(depth);
+        b_pipe.reset(depth);
+        wa.clear();
+        wa.reserve(depth + 1);
+        wb.clear();
+        wb.reserve(depth + 1);
+
         SrummaMachine {
             spec,
             a,
             b,
             depth,
-            a_pipe: Pipeline::new(depth),
-            b_pipe: Pipeline::new(depth),
-            wa: Vec::with_capacity(depth + 1),
-            wb: Vec::with_capacity(depth + 1),
+            a_pipe,
+            b_pipe,
+            wa,
+            wb,
             cw,
             crows,
             ccols,
@@ -415,6 +487,37 @@ impl<'a> SrummaMachine<'a> {
     /// rank's guard is live.
     pub fn finish(self) -> SrummaReport {
         self.report
+    }
+
+    /// [`SrummaMachine::finish`], additionally salvaging the machine's
+    /// allocations for the next multiply in a batch (see
+    /// [`MachineScratch`]). The C write guard is released here.
+    pub fn into_scratch(self) -> (SrummaReport, MachineScratch) {
+        let SrummaMachine {
+            report,
+            tasks,
+            order,
+            sources,
+            a_pipe,
+            b_pipe,
+            wa,
+            wb,
+            cw,
+            ..
+        } = self;
+        drop(cw);
+        (
+            report,
+            MachineScratch {
+                tasks,
+                order,
+                sources,
+                a_pipe: Some(a_pipe),
+                b_pipe: Some(b_pipe),
+                wa,
+                wb,
+            },
+        )
     }
 }
 

@@ -59,12 +59,22 @@ impl Task {
 /// Invariants (property-tested): segments tile `0..k` exactly; each
 /// segment lies inside exactly one A panel and one B panel.
 pub fn build_tasks(k: usize, aparts: usize, bparts: usize) -> Vec<Task> {
+    let mut tasks = Vec::new();
+    build_tasks_into(&mut tasks, k, aparts, bparts);
+    tasks
+}
+
+/// [`build_tasks`] into a caller-owned vector (cleared first), so the
+/// batched driver can run a stream of multiplies without reallocating
+/// the task list per entry.
+pub fn build_tasks_into(tasks: &mut Vec<Task>, k: usize, aparts: usize, bparts: usize) {
     assert!(aparts > 0 && bparts > 0);
+    tasks.clear();
     if k == 0 {
         // Empty inner dimension: the product contributes nothing, so
         // there is no work — `C ← β·C` is handled by the caller's beta
         // pre-pass.
-        return Vec::new();
+        return;
     }
     // Gather all panel boundaries from both partitions.
     let mut bounds: Vec<usize> = Vec::new();
@@ -89,23 +99,19 @@ pub fn build_tasks(k: usize, aparts: usize, bparts: usize) -> Vec<Task> {
         }
     };
 
-    bounds
-        .windows(2)
-        .filter(|w| w[1] > w[0])
-        .map(|w| {
-            let (k0, k1) = (w[0], w[1]);
-            let la = panel_of(k, aparts, k0);
-            let lb = panel_of(k, bparts, k0);
-            Task {
-                k0,
-                k1,
-                la,
-                lb,
-                k0_rel_a: k0 - chunk_start(k, aparts, la),
-                k0_rel_b: k0 - chunk_start(k, bparts, lb),
-            }
-        })
-        .collect()
+    tasks.extend(bounds.windows(2).filter(|w| w[1] > w[0]).map(|w| {
+        let (k0, k1) = (w[0], w[1]);
+        let la = panel_of(k, aparts, k0);
+        let lb = panel_of(k, bparts, k0);
+        Task {
+            k0,
+            k1,
+            la,
+            lb,
+            k0_rel_a: k0 - chunk_start(k, aparts, la),
+            k0_rel_b: k0 - chunk_start(k, bparts, lb),
+        }
+    }));
 }
 
 /// Produce the execution order (a permutation of task indices) under
@@ -122,16 +128,37 @@ pub fn order_tasks(
     aparts: usize,
     shift: usize,
     smp_first: bool,
-    mut is_local: impl FnMut(&Task) -> bool,
+    is_local: impl FnMut(&Task) -> bool,
 ) -> Vec<usize> {
+    let mut order = Vec::new();
+    order_tasks_into(
+        &mut order, ntasks, tasks, aparts, shift, smp_first, is_local,
+    );
+    order
+}
+
+/// [`order_tasks`] into a caller-owned vector (cleared first) — the
+/// allocation-free path for the batched driver.
+#[allow(clippy::too_many_arguments)]
+pub fn order_tasks_into(
+    order: &mut Vec<usize>,
+    ntasks: usize,
+    tasks: &[Task],
+    aparts: usize,
+    shift: usize,
+    smp_first: bool,
+    mut is_local: impl FnMut(&Task) -> bool,
+) {
     assert_eq!(ntasks, tasks.len());
+    order.clear();
     if !smp_first {
         // Pure cyclic rotation: start the sweep at the shift panel.
         let start = tasks
             .iter()
             .position(|t| t.la == shift % aparts)
             .unwrap_or(0);
-        return (0..ntasks).map(|i| (start + i) % ntasks).collect();
+        order.extend((0..ntasks).map(|i| (start + i) % ntasks));
+        return;
     }
     // Partition FIRST (in k order), then rotate only the remote
     // sublist. Rotating before extraction would frequently land the
@@ -139,20 +166,22 @@ pub fn order_tasks(
     // front, collapsing different ranks' shift origins onto identical
     // remote sweeps — recreating exactly the contention the shift is
     // meant to remove.
-    let (mut local, mut remote): (Vec<usize>, Vec<usize>) = (Vec::new(), Vec::new());
     for (idx, task) in tasks.iter().enumerate() {
         if is_local(task) {
-            local.push(idx);
-        } else {
-            remote.push(idx);
+            order.push(idx);
         }
     }
+    let split = order.len();
+    for (idx, task) in tasks.iter().enumerate() {
+        if !is_local(task) {
+            order.push(idx);
+        }
+    }
+    let remote = &mut order[split..];
     if !remote.is_empty() {
         let rot = shift % remote.len();
         remote.rotate_left(rot);
     }
-    local.extend(remote);
-    local
 }
 
 /// The diagonal-shift origin for the process at grid coordinates

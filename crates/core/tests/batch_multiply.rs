@@ -1,0 +1,205 @@
+//! Deterministic correctness and regression tests for the batched
+//! multi-GEMM driver (`srumma_core::batch`): one executor, one
+//! slot-ring arena, per-entry epoch fences.
+
+use srumma_core::batch::{
+    batch_serial_reference, multiply_batch, multiply_batch_exec, multiply_batch_sim,
+    multiply_batch_traced, BatchEntry, BatchSpec,
+};
+use srumma_core::driver::{multiply_exec, serial_reference};
+use srumma_core::{Algorithm, GemmSpec, SrummaOptions};
+use srumma_dense::{max_abs_diff, Matrix, Op};
+use srumma_model::Machine;
+
+/// A fixed stream exercising every interesting entry shape at once:
+/// all four transpose cases, non-square and degenerate (`k = 0`,
+/// `k = 1`, single-row) extents, non-default `α`/`β` and an initial C.
+type Case = (Op, Op, usize, usize, usize, f64, f64, bool);
+
+fn mixed_batch() -> BatchSpec {
+    let mut batch = BatchSpec::new();
+    let cases: &[Case] = &[
+        (Op::N, Op::N, 16, 16, 16, 1.0, 0.0, false),
+        (Op::T, Op::N, 7, 13, 5, 1.5, -0.5, true),
+        (Op::N, Op::T, 32, 8, 24, -1.0, 0.0, false),
+        (Op::T, Op::T, 11, 11, 11, 2.0, 1.0, true),
+        (Op::N, Op::N, 10, 10, 0, 1.0, 0.5, true), // k = 0: pure β-scale
+        (Op::T, Op::N, 20, 4, 1, 1.0, 0.0, false), // k = 1: single panel
+        (Op::N, Op::T, 1, 24, 9, 0.5, 0.0, false), // single output row
+    ];
+    for (i, &(ta, tb, m, n, k, alpha, beta, with_c0)) in cases.iter().enumerate() {
+        let spec = GemmSpec::new(ta, tb, m, n, k).with_scalars(alpha, beta);
+        let a = Matrix::random(m, k, 100 + i as u64);
+        let b = Matrix::random(k, n, 200 + i as u64);
+        let mut e = BatchEntry::new(spec, a, b);
+        if with_c0 {
+            e = e.with_c0(Matrix::random(m, n, 300 + i as u64));
+        }
+        batch.push(e);
+    }
+    batch
+}
+
+fn assert_matches_reference(outputs: &[Matrix], batch: &BatchSpec, what: &str) {
+    let expect = batch_serial_reference(batch);
+    assert_eq!(outputs.len(), expect.len(), "{what}: entry count");
+    for (e, (got, want)) in outputs.iter().zip(&expect).enumerate() {
+        let diff = max_abs_diff(got, want);
+        assert!(diff < 1e-10, "{what}: entry {e}: |diff|={diff:e}");
+    }
+}
+
+#[test]
+fn batched_threads_matches_serial_reference() {
+    let batch = mixed_batch();
+    for nranks in [1usize, 4, 6] {
+        let res = multiply_batch(&batch, nranks);
+        assert_matches_reference(&res.outputs, &batch, &format!("threads x{nranks}"));
+    }
+}
+
+#[test]
+fn batched_exec_matches_serial_reference() {
+    let batch = mixed_batch();
+    for (nranks, workers) in [(1usize, 1usize), (4, 2), (6, 3), (8, 2)] {
+        let res = multiply_batch_exec(&batch, nranks, workers);
+        assert_matches_reference(
+            &res.outputs,
+            &batch,
+            &format!("exec x{nranks} on {workers} workers"),
+        );
+    }
+}
+
+#[test]
+fn batched_sim_matches_serial_reference() {
+    let batch = mixed_batch();
+    let res = multiply_batch_sim(&batch, &Machine::linux_myrinet(), 4);
+    assert_matches_reference(&res.outputs, &batch, "sim x4");
+    assert!(res.stats.wall_s > 0.0, "sim makespan should be positive");
+}
+
+/// The grow-at-most-once regression: one `GemmWorkspace` per rank must
+/// serve the *whole* stream — mixed shapes included — growing at most
+/// once (to the batch high-water mark) rather than once per entry.
+#[test]
+fn workspace_grows_at_most_once_across_batch() {
+    let batch = mixed_batch();
+    let res = multiply_batch_exec(&batch, 4, 2);
+    assert_eq!(res.ws_grow_counts.len(), 4);
+    for (rank, &g) in res.ws_grow_counts.iter().enumerate() {
+        assert!(
+            g <= 1,
+            "exec rank {rank}: workspace grew {g} times across {} entries",
+            batch.entries.len()
+        );
+    }
+    let res = multiply_batch(&batch, 4);
+    for (rank, &g) in res.ws_grow_counts.iter().enumerate() {
+        assert!(g <= 1, "threads rank {rank}: workspace grew {g} times");
+    }
+}
+
+/// The serialized (`window = 1`) and pipelined (`window ≥ 2`) programs
+/// must be numerically indistinguishable.
+#[test]
+fn window_one_matches_window_three() {
+    let batch3 = mixed_batch(); // default window = 3
+    let batch1 = mixed_batch().with_window(1);
+    let r3 = multiply_batch_exec(&batch3, 4, 2);
+    let r1 = multiply_batch_exec(&batch1, 4, 2);
+    for (e, (c3, c1)) in r3.outputs.iter().zip(&r1.outputs).enumerate() {
+        let diff = max_abs_diff(c3, c1);
+        assert!(diff == 0.0, "entry {e}: window 1 vs 3 |diff|={diff:e}");
+    }
+    // A window wider than the batch is clamped, not an error.
+    let wide = mixed_batch().with_window(64);
+    assert_matches_reference(&multiply_batch(&wide, 4).outputs, &wide, "wide window");
+}
+
+#[test]
+fn empty_batch_is_empty() {
+    let batch = BatchSpec::new();
+    for res in [multiply_batch(&batch, 4), multiply_batch_exec(&batch, 4, 2)] {
+        assert!(res.outputs.is_empty());
+        assert!(res.reports.is_empty());
+        assert!(res.ws_grow_counts.is_empty());
+        assert_eq!(res.stats.entries.len(), 0);
+    }
+}
+
+/// A one-entry batch must agree with the standalone driver bit-for-bit
+/// modulo kernel scheduling (same layout, same kernel ⇒ tight bound).
+#[test]
+fn single_entry_batch_matches_standalone_driver() {
+    let spec = GemmSpec::square(24);
+    let a = Matrix::random(24, 24, 41);
+    let b = Matrix::random(24, 24, 42);
+    let mut batch = BatchSpec::new();
+    batch.push(BatchEntry::new(spec, a.clone(), b.clone()));
+    let res = multiply_batch_exec(&batch, 4, 2);
+    let (c, _) = multiply_exec(4, 2, &Algorithm::srumma_default(), &spec, &a, &b);
+    let diff = max_abs_diff(&res.outputs[0], &c);
+    assert!(diff < 1e-12, "batch-of-one vs standalone |diff|={diff:e}");
+    let expect = serial_reference(&spec, &a, &b);
+    assert!(max_abs_diff(&res.outputs[0], &expect) < 1e-10);
+}
+
+/// Per-entry option overrides take effect without disturbing neighbors.
+#[test]
+fn per_entry_option_overrides_apply() {
+    let mut batch = BatchSpec::new().with_opts(SrummaOptions::default());
+    for i in 0..4u64 {
+        let spec = GemmSpec::square(20);
+        let mut e = BatchEntry::new(
+            spec,
+            Matrix::random(20, 20, 60 + 2 * i),
+            Matrix::random(20, 20, 61 + 2 * i),
+        );
+        if i % 2 == 1 {
+            e = e.with_opts(SrummaOptions::naive());
+        }
+        batch.push(e);
+    }
+    assert_eq!(batch.entry_opts(1), SrummaOptions::naive());
+    assert_eq!(batch.entry_opts(2), SrummaOptions::default());
+    for res in [multiply_batch(&batch, 4), multiply_batch_exec(&batch, 4, 2)] {
+        assert_matches_reference(&res.outputs, &batch, "mixed per-entry options");
+    }
+}
+
+/// The stats rollup: per-entry labels/flops survive, every rank sampled
+/// every entry, time flows, and the traced variant carries a timeline.
+#[test]
+fn batch_stats_and_trace_are_coherent() {
+    let batch = mixed_batch();
+    let (res, traced) = multiply_batch_traced(&batch, 4, 2);
+    assert_matches_reference(&res.outputs, &batch, "traced exec");
+    assert_eq!(res.stats.entries.len(), batch.entries.len());
+    assert_eq!(res.reports.len(), batch.entries.len());
+    for (e, es) in res.stats.entries.iter().enumerate() {
+        assert_eq!(es.index, e);
+        assert_eq!(es.samples.len(), 4, "entry {e}: one sample per rank");
+        assert_eq!(es.flops, batch.entries[e].spec.flops());
+        assert!(es.label.contains('x'), "entry {e}: label {:?}", es.label);
+        assert!(es.span_s() >= 0.0);
+        // Entries with work must report tasks; k = 0 entries may not.
+        if batch.entries[e].spec.k > 0 {
+            assert!(res.reports[e].tasks > 0, "entry {e}: no tasks recorded");
+        }
+    }
+    assert!(res.stats.wall_s > 0.0);
+    let ov = res.stats.inter_entry_overlap();
+    assert!((0.0..1.0).contains(&ov), "overlap {ov} out of range");
+    assert!(res.stats.fence_s_per_entry() >= 0.0);
+    assert!(
+        traced.stats.exec.is_some(),
+        "traced run should carry executor stats"
+    );
+    assert!(
+        !traced.trace.is_empty(),
+        "traced run should carry trace events"
+    );
+    let json = res.stats.summary_json();
+    assert!(json.contains("inter_entry_overlap"), "summary: {json}");
+}

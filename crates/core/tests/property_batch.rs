@@ -1,0 +1,129 @@
+//! Property-style tests for the batched driver: random batches (mixed
+//! shapes, transposes, scalars, degenerate extents, per-entry option
+//! overrides, random windows) checked against the serial reference on
+//! all three backends — host threads, the virtual-time simulator, and
+//! the work-stealing executor including oversubscribed pools. Driven by
+//! the in-repo deterministic [`Rng`] (the workspace builds offline,
+//! without a property-testing framework).
+
+use srumma_core::batch::{batch_serial_reference, BatchEntry, BatchSpec};
+use srumma_core::{GemmSpec, SrummaOptions};
+use srumma_dense::{max_abs_diff, Matrix, Op, Rng};
+use srumma_model::Machine;
+
+fn random_op(rng: &mut Rng) -> Op {
+    if rng.chance(0.5) {
+        Op::N
+    } else {
+        Op::T
+    }
+}
+
+/// Absolute tolerance for a length-`k` dot product of O(1) values.
+fn tolerance(k: usize) -> f64 {
+    1e-12 * k.max(1) as f64 * 100.0
+}
+
+/// A random batch: 1–8 entries, extents 1–24 (k occasionally 0), all
+/// four transpose cases, random `α`/`β`, optional initial C, and an
+/// occasional per-entry options override.
+fn random_batch(rng: &mut Rng) -> BatchSpec {
+    let mut batch = BatchSpec::new().with_window(rng.range(1, 4));
+    let entries = rng.range(1, 8);
+    for _ in 0..entries {
+        let m = rng.range(1, 24);
+        let n = rng.range(1, 24);
+        let k = if rng.chance(0.1) { 0 } else { rng.range(1, 24) };
+        let (ta, tb) = (random_op(rng), random_op(rng));
+        let alpha = rng.unit() * 2.0;
+        let beta = if rng.chance(0.5) { 0.0 } else { rng.unit() };
+        let spec = GemmSpec::new(ta, tb, m, n, k).with_scalars(alpha, beta);
+        let seed = rng.next_u64() % 10_000;
+        let mut e = BatchEntry::new(
+            spec,
+            Matrix::random(m, k, seed),
+            Matrix::random(k, n, seed + 1),
+        );
+        if rng.chance(0.5) {
+            e = e.with_c0(Matrix::random(m, n, seed + 2));
+        }
+        if rng.chance(0.3) {
+            e = e.with_opts(SrummaOptions {
+                smp_first: rng.chance(0.5),
+                diagonal_shift: rng.chance(0.5),
+                double_buffer: rng.chance(0.8),
+                prefetch_depth: rng.range(1, 3),
+                ..SrummaOptions::default()
+            });
+        }
+        batch.push(e);
+    }
+    batch
+}
+
+fn max_k(batch: &BatchSpec) -> usize {
+    batch.entries.iter().map(|e| e.spec.k).max().unwrap_or(0)
+}
+
+fn check(outputs: &[Matrix], batch: &BatchSpec, case: u64, what: &str) {
+    let expect = batch_serial_reference(batch);
+    let tol = tolerance(max_k(batch));
+    for (e, (got, want)) in outputs.iter().zip(&expect).enumerate() {
+        let diff = max_abs_diff(got, want);
+        assert!(
+            diff < tol,
+            "case {case} ({what}): entry {e} ({:?}): |diff|={diff:e} tol={tol:e}",
+            batch.entries[e].spec
+        );
+    }
+}
+
+#[test]
+fn random_batches_on_threads_match_serial() {
+    for case in 0..16u64 {
+        let mut rng = Rng::new(0xBA7C_0001 + case);
+        let batch = random_batch(&mut rng);
+        let nranks = rng.range(1, 8);
+        let res = srumma_core::batch::multiply_batch(&batch, nranks);
+        check(&res.outputs, &batch, case, &format!("threads x{nranks}"));
+        for &g in &res.ws_grow_counts {
+            assert!(g <= 1, "case {case}: workspace grew {g} times");
+        }
+    }
+}
+
+#[test]
+fn random_batches_on_sim_match_serial() {
+    let machines = [Machine::linux_myrinet(), Machine::sgi_altix()];
+    for case in 0..8u64 {
+        let mut rng = Rng::new(0xBA7C_0002 + case);
+        let batch = random_batch(&mut rng);
+        let nranks = rng.range(1, 6);
+        let machine = rng.pick(&machines);
+        let res = srumma_core::batch::multiply_batch_sim(&batch, machine, nranks);
+        check(&res.outputs, &batch, case, &format!("sim x{nranks}"));
+    }
+}
+
+/// The executor path under deliberate oversubscription: more logical
+/// ranks than workers, so fence waits park rank tasks and the slot-ring
+/// reuse discipline is genuinely exercised across interleavings.
+#[test]
+fn random_batches_on_oversubscribed_executor_match_serial() {
+    for case in 0..16u64 {
+        let mut rng = Rng::new(0xBA7C_0003 + case);
+        let batch = random_batch(&mut rng);
+        let nranks = rng.range(2, 12);
+        let workers = rng.range(1, (nranks / 2).max(1));
+        let res = srumma_core::batch::multiply_batch_exec(&batch, nranks, workers);
+        check(
+            &res.outputs,
+            &batch,
+            case,
+            &format!("exec x{nranks} on {workers} workers"),
+        );
+        for &g in &res.ws_grow_counts {
+            assert!(g <= 1, "case {case}: workspace grew {g} times");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Metrics rollup for **batched** runs: a stream of multiplies on one
+//! executor, one arena, with per-entry epoch fences instead of
+//! per-multiply open/close barrier pairs.
+//!
+//! The backends are too far down the stack to know about batch entries,
+//! so the batched driver stamps a small [`EntryRankSample`] per rank
+//! per entry (time staging operands, time computing, time blocked at
+//! the entry's fences, first-touch and done-fence wall times) and this
+//! module rolls them up:
+//!
+//! * [`EntryStats`] — one entry across its ranks, convertible to the
+//!   familiar per-run [`RunStats`] shape;
+//! * [`BatchStats`] — the whole stream: amortized fence time per entry
+//!   and the **inter-entry overlap fraction** (how much of the
+//!   entries' summed wall spans was hidden by pipelining them — the
+//!   paper's communication/computation overlap lifted from the task
+//!   level to the batch level).
+
+use crate::json::JsonObject;
+use crate::stats::{RankStats, RunStats};
+
+/// One rank's timings for one batch entry, stamped by the driver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EntryRankSample {
+    /// Seconds staging this rank's operand/C blocks into the slot.
+    pub stage_s: f64,
+    /// Seconds in the entry's task loop (including result extraction).
+    pub compute_s: f64,
+    /// Seconds blocked at the entry's staged/done fences.
+    pub fence_s: f64,
+    /// Wall time this rank first touched the entry.
+    pub t_start: f64,
+    /// Wall time this rank arrived at the entry's done fence.
+    pub t_end: f64,
+}
+
+/// One batch entry aggregated across ranks.
+#[derive(Clone, Debug)]
+pub struct EntryStats {
+    /// Position in the batch.
+    pub index: usize,
+    /// Spec label (e.g. `NN 64x64x64`).
+    pub label: String,
+    /// Useful flops of the entry (`2mnk`).
+    pub flops: f64,
+    /// Per-rank samples, indexed by rank.
+    pub samples: Vec<EntryRankSample>,
+}
+
+impl EntryStats {
+    /// Summed staging seconds across ranks.
+    pub fn stage_s(&self) -> f64 {
+        self.samples.iter().map(|s| s.stage_s).sum()
+    }
+
+    /// Summed compute seconds across ranks.
+    pub fn compute_s(&self) -> f64 {
+        self.samples.iter().map(|s| s.compute_s).sum()
+    }
+
+    /// Summed fence-blocked seconds across ranks.
+    pub fn fence_s(&self) -> f64 {
+        self.samples.iter().map(|s| s.fence_s).sum()
+    }
+
+    /// Wall span of the entry: first touch by any rank to the last done
+    /// arrival.
+    pub fn span_s(&self) -> f64 {
+        let t0 = self
+            .samples
+            .iter()
+            .map(|s| s.t_start)
+            .fold(f64::INFINITY, f64::min);
+        let t1 = self.samples.iter().map(|s| s.t_end).fold(0.0, f64::max);
+        (t1 - t0).max(0.0)
+    }
+
+    /// The entry's timings in the per-run [`RunStats`] shape (compute
+    /// time, barrier time, per-rank finish times, makespan), so batch
+    /// entries and standalone runs read the same way.
+    pub fn run_stats(&self) -> RunStats {
+        let ranks = self
+            .samples
+            .iter()
+            .map(|s| RankStats {
+                compute_time: s.compute_s,
+                barrier_time: s.fence_s,
+                ..RankStats::default()
+            })
+            .collect();
+        let final_times: Vec<f64> = self.samples.iter().map(|s| s.t_end).collect();
+        RunStats {
+            ranks,
+            makespan: self.span_s(),
+            final_times,
+            exec: None,
+        }
+    }
+}
+
+/// Whole-stream rollup.
+#[derive(Clone, Debug)]
+pub struct BatchStats {
+    /// Per-entry statistics, in batch order.
+    pub entries: Vec<EntryStats>,
+    /// Wall seconds of the whole batch (setup to final fence).
+    pub wall_s: f64,
+}
+
+impl BatchStats {
+    /// Roll up per-entry stats for a batch that took `wall_s` seconds.
+    pub fn from_entries(entries: Vec<EntryStats>, wall_s: f64) -> Self {
+        BatchStats { entries, wall_s }
+    }
+
+    /// Summed compute seconds across entries and ranks.
+    pub fn compute_s_total(&self) -> f64 {
+        self.entries.iter().map(|e| e.compute_s()).sum()
+    }
+
+    /// Summed fence-blocked seconds across entries and ranks.
+    pub fn fence_s_total(&self) -> f64 {
+        self.entries.iter().map(|e| e.fence_s()).sum()
+    }
+
+    /// Amortized synchronization cost: fence-blocked seconds per entry.
+    /// A loop of standalone multiplies pays two full barriers per
+    /// multiply; the batched stream pays this instead.
+    pub fn fence_s_per_entry(&self) -> f64 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            self.fence_s_total() / self.entries.len() as f64
+        }
+    }
+
+    /// Inter-entry overlap fraction: `1 − wall / Σ entry spans`,
+    /// clamped to `[0, 1)`. Zero means entries ran back-to-back with no
+    /// pipelining; approaching 1 means entry *i+1*'s staging and
+    /// compute hid almost entirely under entry *i*'s stragglers.
+    pub fn inter_entry_overlap(&self) -> f64 {
+        let spans: f64 = self.entries.iter().map(|e| e.span_s()).sum();
+        if spans <= 0.0 || self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.wall_s / spans).clamp(0.0, 1.0)
+    }
+
+    /// Useful GFLOP/s of the whole stream.
+    pub fn gflops(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.flops).sum::<f64>() / self.wall_s / 1e9
+    }
+
+    /// The batch metrics as a JSON object string (the shape
+    /// `results/BENCH_batched_gemm.json` embeds).
+    pub fn summary_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.int("entries", self.entries.len() as u64);
+        o.num("wall_seconds", self.wall_s);
+        o.num("gflops", self.gflops());
+        o.num("compute_seconds_total", self.compute_s_total());
+        o.num(
+            "stage_seconds_total",
+            self.entries.iter().map(|e| e.stage_s()).sum(),
+        );
+        o.num("fence_seconds_total", self.fence_s_total());
+        o.num("fence_seconds_per_entry", self.fence_s_per_entry());
+        o.num("inter_entry_overlap", self.inter_entry_overlap());
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(index: usize, t0: f64, t1: f64, compute: f64, fence: f64) -> EntryStats {
+        EntryStats {
+            index,
+            label: format!("e{index}"),
+            flops: 1e6,
+            samples: vec![
+                EntryRankSample {
+                    stage_s: 0.01,
+                    compute_s: compute,
+                    fence_s: fence,
+                    t_start: t0,
+                    t_end: t1,
+                },
+                EntryRankSample {
+                    stage_s: 0.01,
+                    compute_s: compute / 2.0,
+                    fence_s: fence * 2.0,
+                    t_start: t0 + 0.1,
+                    t_end: t1 - 0.1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn spans_and_totals() {
+        let e = entry(0, 1.0, 2.0, 0.5, 0.1);
+        assert!((e.span_s() - 1.0).abs() < 1e-12);
+        assert!((e.compute_s() - 0.75).abs() < 1e-12);
+        assert!((e.fence_s() - 0.3).abs() < 1e-12);
+        let rs = e.run_stats();
+        assert_eq!(rs.ranks.len(), 2);
+        assert!((rs.makespan - 1.0).abs() < 1e-12);
+        assert!((rs.ranks[1].barrier_time - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_entries_report_overlap() {
+        // Two 1-second entries, overlapped into a 1.5-second wall:
+        // spans sum to 2.0 → overlap 0.25.
+        let b = BatchStats::from_entries(
+            vec![entry(0, 0.0, 1.0, 0.5, 0.0), entry(1, 0.5, 1.5, 0.5, 0.0)],
+            1.5,
+        );
+        assert!((b.inter_entry_overlap() - 0.25).abs() < 1e-12);
+        assert!((b.fence_s_per_entry() - 0.0).abs() < 1e-12);
+        assert!(b.gflops() > 0.0);
+    }
+
+    #[test]
+    fn serial_entries_report_zero_overlap() {
+        let b = BatchStats::from_entries(
+            vec![entry(0, 0.0, 1.0, 0.5, 0.1), entry(1, 1.0, 2.0, 0.5, 0.1)],
+            2.0,
+        );
+        assert_eq!(b.inter_entry_overlap(), 0.0);
+        assert!((b.fence_s_per_entry() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_json_is_wellformed() {
+        let b = BatchStats::from_entries(vec![entry(0, 0.0, 1.0, 0.5, 0.1)], 1.0);
+        let j = b.summary_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "entries",
+            "wall_seconds",
+            "fence_seconds_per_entry",
+            "inter_entry_overlap",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_all_zeros() {
+        let b = BatchStats::from_entries(vec![], 0.0);
+        assert_eq!(b.inter_entry_overlap(), 0.0);
+        assert_eq!(b.fence_s_per_entry(), 0.0);
+        assert_eq!(b.gflops(), 0.0);
+    }
+}

@@ -27,12 +27,14 @@
 //! * [`ascii_gantt`] — the compact terminal Gantt chart the Figure 3
 //!   harness prints.
 
+pub mod batchstats;
 pub mod event;
 pub mod export;
 pub mod json;
 pub mod recorder;
 pub mod stats;
 
+pub use batchstats::{BatchStats, EntryRankSample, EntryStats};
 pub use event::{TraceEvent, TraceKind};
 pub use export::{ascii_gantt, bench_report_json, chrome_trace_json};
 pub use recorder::{Counters, Recorder};

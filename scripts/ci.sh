@@ -24,6 +24,13 @@ echo "== oversubscription smoke: 128 ranks on 2 workers =="
 timeout 300 cargo run --release -q -p srumma-bench \
     --bin bench_executor_scaling -- --smoke
 
+echo "== batched-stream smoke: 32-entry batch on 2 workers =="
+# The batched driver's epoch fences and slot-ring reuse are exactly the
+# kind of code whose bugs deadlock (lost fence wakeup) or corrupt a
+# neighbor entry (slot reused too early) — bounded run, serial-checked.
+timeout 300 cargo run --release -q -p srumma-bench \
+    --bin bench_batched_gemm -- --smoke
+
 echo "== perf gate (hard): dense gemm kernel =="
 # Regenerate the kernel bench quickly and diff against the checked-in
 # baseline. Regressions FAIL CI by default; absolute GFLOP/s vary across
@@ -44,6 +51,28 @@ if [ -f results/BENCH_dense_gemm.json ]; then
     fi
 else
     echo "no checked-in baseline (results/BENCH_dense_gemm.json); skipping"
+fi
+
+echo "== perf gate (hard): executor vs thread-per-rank scaling =="
+# Same gate shape for the work-stealing executor, but only on the
+# exec-over-threads speedup *ratios*: both numerator and denominator run
+# on this host, so the ratio is stable where raw wall seconds are not.
+# The wider threshold absorbs scheduler jitter on loaded runners.
+if [ -f results/BENCH_executor_scaling.json ]; then
+    cargo run --release -q -p srumma-bench --bin bench_executor_scaling -- \
+        --quick --out /tmp/BENCH_executor_scaling.json >/dev/null
+    if ! ./scripts/bench_diff results/BENCH_executor_scaling.json /tmp/BENCH_executor_scaling.json \
+        --strict --threshold 40 --only speedup; then
+        if [ "$GATE_MODE" = "warn" ]; then
+            echo "WARNING: executor scaling regressed vs checked-in baseline (SRUMMA_PERF_GATE=warn)"
+        else
+            echo "FAIL: executor scaling regressed vs checked-in baseline" >&2
+            echo "      (set SRUMMA_PERF_GATE=warn to downgrade on known-slower runners)" >&2
+            exit 1
+        fi
+    fi
+else
+    echo "no checked-in baseline (results/BENCH_executor_scaling.json); skipping"
 fi
 
 echo "CI green."
