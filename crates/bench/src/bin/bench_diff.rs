@@ -18,6 +18,9 @@
 //! `SUBSTR` (repeatable; a key matching any filter is kept). CI uses it
 //! to gate on hardware-stable *ratios* (`--only speedup`) while the
 //! absolute wall-second metrics in the same report stay informational.
+//! A filter that matches no numeric metric in both reports is a hard
+//! error (exit 2) even without `--strict` — a vacuous gate is a broken
+//! gate, not a passing one.
 //!
 //! Default mode always exits 0 (a *soft* gate: CI warns but stays
 //! green); `--strict` exits 1 when regressions were found.
@@ -121,6 +124,7 @@ fn main() {
     let keep = |key: &str| cfg.only.is_empty() || cfg.only.iter().any(|s| key.contains(s.as_str()));
     let mut regressions = 0usize;
     let mut improvements = 0usize;
+    let mut compared = 0usize;
     for (key, bval) in bm {
         if !keep(key) {
             continue;
@@ -130,6 +134,7 @@ fn main() {
             println!("  ~ {key}: dropped from new report");
             continue;
         };
+        compared += 1;
         if b == 0.0 {
             continue; // no meaningful relative change
         }
@@ -161,6 +166,16 @@ fn main() {
         "bench_diff: {regressions} regression(s), {improvements} improvement(s) beyond {}%",
         cfg.threshold
     );
+    // A filter that matches nothing is a misconfigured gate (typo'd key,
+    // renamed metric): the run would pass vacuously forever. Hard error
+    // regardless of --strict so CI notices immediately.
+    if compared == 0 && !cfg.only.is_empty() {
+        eprintln!(
+            "bench_diff: --only {:?} matched no numeric metric present in both reports",
+            cfg.only
+        );
+        std::process::exit(2);
+    }
     if regressions > 0 && cfg.strict {
         std::process::exit(1);
     }

@@ -12,24 +12,14 @@
 //! 16000×16000 matrix would otherwise cost 2 GiB per operand).
 
 use crate::arena::SharedArena;
-use srumma_dense::{MatMut, MatRef, Matrix};
+use srumma_dense::{BlockMask, MatMut, MatRef, Matrix};
 use srumma_model::ProcGrid;
 use std::sync::Arc;
 
-/// Near-even 1-D partition: the first `n % parts` chunks get one extra
-/// element. Returns the start of chunk `i`.
-pub fn chunk_start(n: usize, parts: usize, i: usize) -> usize {
-    let base = n / parts;
-    let rem = n % parts;
-    i * base + i.min(rem)
-}
-
-/// Length of chunk `i` in a near-even 1-D partition.
-pub fn chunk_len(n: usize, parts: usize, i: usize) -> usize {
-    let base = n / parts;
-    let rem = n % parts;
-    base + usize::from(i < rem)
-}
+// The near-even 1-D partition is canonical in `srumma_dense::mask` (the
+// masked serial reference must chunk exactly like the distribution);
+// re-exported here so distributed code keeps its historical import path.
+pub use srumma_dense::mask::{chunk_len, chunk_start};
 
 enum Backing {
     /// Shape only; no elements exist.
@@ -72,6 +62,10 @@ pub struct DistMatrix {
     cols: usize,
     order: RankOrder,
     backing: Backing,
+    /// Optional block-sparsity structure, indexed by **stored** grid
+    /// block coordinates (`p × q` of this matrix's grid, after any
+    /// transposition applied by the layout layer). `None` means dense.
+    mask: Option<BlockMask>,
 }
 
 impl DistMatrix {
@@ -118,6 +112,7 @@ impl DistMatrix {
             cols,
             order,
             backing,
+            mask: None,
         }
     }
 
@@ -156,6 +151,7 @@ impl DistMatrix {
                 base,
                 stride,
             },
+            mask: None,
         }
     }
 
@@ -164,6 +160,42 @@ impl DistMatrix {
         match &self.backing {
             Backing::Real { base, stride, .. } => base + stride * rank,
             Backing::Virtual => unreachable!("virtual matrices have no regions"),
+        }
+    }
+
+    /// Attach a block-sparsity mask. The mask is indexed by **stored**
+    /// block coordinates, so it must be shaped exactly like this
+    /// matrix's grid (`p × q` blocks); the layout layer is responsible
+    /// for transposing a logical mask before attaching it to
+    /// transposed-storage operands.
+    ///
+    /// # Panics
+    /// Panics if the mask shape does not match the grid.
+    pub fn set_mask(&mut self, mask: BlockMask) {
+        assert_eq!(
+            (mask.rows(), mask.cols()),
+            (self.grid.p, self.grid.q),
+            "mask shape must match the {}x{} process grid",
+            self.grid.p,
+            self.grid.q
+        );
+        self.mask = Some(mask);
+    }
+
+    /// The attached block-sparsity mask, if any (`None` ≡ dense).
+    pub fn mask(&self) -> Option<&BlockMask> {
+        self.mask.as_ref()
+    }
+
+    /// Whether `rank`'s block may hold nonzeros. Unmasked matrices are
+    /// dense: every block is nonzero.
+    pub fn block_nonzero(&self, rank: usize) -> bool {
+        match &self.mask {
+            None => true,
+            Some(m) => {
+                let (bi, bj) = self.block_coords(rank);
+                m.get(bi, bj)
+            }
         }
     }
 
@@ -557,6 +589,30 @@ mod tests {
         let grid = ProcGrid::new(3, 2);
         let m = DistMatrix::create_virtual(grid, 6, 6);
         assert_eq!(m.owner(2, 1), grid.rank_at(2, 1));
+    }
+
+    #[test]
+    fn mask_follows_block_coords_in_both_rank_orders() {
+        let grid = ProcGrid::new(2, 3);
+        let mask = BlockMask::from_fn(2, 3, |i, j| (i, j) == (1, 2));
+        for order in [RankOrder::RowMajor, RankOrder::ColMajor] {
+            let mut m = DistMatrix::create_with_order(grid, 6, 6, order, false);
+            assert!(m.mask().is_none());
+            assert!((0..grid.nranks()).all(|r| m.block_nonzero(r)));
+            m.set_mask(mask.clone());
+            for r in 0..grid.nranks() {
+                let (bi, bj) = m.block_coords(r);
+                assert_eq!(m.block_nonzero(r), (bi, bj) == (1, 2), "{order:?} rank {r}");
+            }
+            assert_eq!(m.mask().unwrap().nnz(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mask shape must match")]
+    fn mismatched_mask_shape_panics() {
+        let mut m = DistMatrix::create_virtual(ProcGrid::new(2, 2), 4, 4);
+        m.set_mask(BlockMask::full(3, 3));
     }
 }
 

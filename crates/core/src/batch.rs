@@ -51,7 +51,7 @@ use srumma_comm::{
     exec_run_tasks, sim_run, thread_run, Comm, DistMatrix, ExecComm, RankTask, SharedArena,
     SimOptions, Step,
 };
-use srumma_dense::{Matrix, Op};
+use srumma_dense::{BlockMask, Matrix, Op};
 use srumma_model::Machine;
 use srumma_trace::{BatchStats, EntryRankSample, EntryStats};
 use std::sync::{Arc, Mutex};
@@ -73,6 +73,12 @@ pub struct BatchEntry {
     pub c0: Option<Matrix>,
     /// Per-entry override of the batch's default options.
     pub opts: Option<SrummaOptions>,
+    /// Logical block-sparsity mask of A (`p` C-row blocks × `q`
+    /// k-panels of the run grid). Masked blocks are declared zero:
+    /// their staging, gets and gemm segments are skipped entirely.
+    pub mask_a: Option<BlockMask>,
+    /// Logical mask of B (`p` k-panels × `q` C-column blocks).
+    pub mask_b: Option<BlockMask>,
 }
 
 impl BatchEntry {
@@ -86,6 +92,8 @@ impl BatchEntry {
             b,
             c0: None,
             opts: None,
+            mask_a: None,
+            mask_b: None,
         }
     }
 
@@ -99,6 +107,18 @@ impl BatchEntry {
     /// Override the batch's default SRUMMA options for this entry.
     pub fn with_opts(mut self, opts: SrummaOptions) -> Self {
         self.opts = Some(opts);
+        self
+    }
+
+    /// Declare block-sparsity structure for the operands (either mask
+    /// may be `None` ≡ dense). Masks are **logical**: shaped by the run
+    /// grid's blocking (`p × q`), with A's columns and B's rows indexing
+    /// k-panels — the layout layer transposes them to stored
+    /// coordinates for the `T` cases. Whatever data sits inside a
+    /// masked block is ignored.
+    pub fn with_masks(mut self, mask_a: Option<BlockMask>, mask_b: Option<BlockMask>) -> Self {
+        self.mask_a = mask_a;
+        self.mask_b = mask_b;
         self
     }
 }
@@ -200,11 +220,19 @@ fn build_storage(
         .map(|(e, entry)| {
             let slot = e % window;
             let base = slot * n * 3;
+            let mut da = dist_a_in_arena(&entry.spec, grid, Arc::clone(&arena), base, 3);
+            let mut db = dist_b_in_arena(&entry.spec, grid, Arc::clone(&arena), base + 1, 3);
+            if let Some(m) = &entry.mask_a {
+                crate::layout::set_a_mask(&entry.spec, &mut da, m.clone());
+            }
+            if let Some(m) = &entry.mask_b {
+                crate::layout::set_b_mask(&entry.spec, &mut db, m.clone());
+            }
             EntryPlan {
                 spec: entry.spec,
                 opts: batch.entry_opts(e),
-                da: dist_a_in_arena(&entry.spec, grid, Arc::clone(&arena), base, 3),
-                db: dist_b_in_arena(&entry.spec, grid, Arc::clone(&arena), base + 1, 3),
+                da,
+                db,
                 dc: dist_c_in_arena(&entry.spec, grid, Arc::clone(&arena), base + 2, 3),
             }
         })
@@ -219,7 +247,12 @@ fn build_storage(
 /// this rank's own regions — no synchronization needed beyond the slot
 /// being free.
 fn stage_entry(entry: &BatchEntry, plan: &EntryPlan, rank: usize) {
-    {
+    // Masked-out operand blocks are never read (their tasks are pruned
+    // before the machine runs), so their staging copy is skipped too —
+    // the slot region keeps whatever stale data it held. C staging
+    // stays unconditional: every rank's C tile must be β-initialized
+    // even when its entire k-row of tasks vanished.
+    if plan.da.block_nonzero(rank) {
         let (r0, c0) = plan.da.block_origin(rank);
         let mut w = plan.da.write_block(rank);
         if let Some(mut dst) = w.mat_mut() {
@@ -235,7 +268,7 @@ fn stage_entry(entry: &BatchEntry, plan: &EntryPlan, rank: usize) {
             }
         }
     }
-    {
+    if plan.db.block_nonzero(rank) {
         let (r0, c0) = plan.db.block_origin(rank);
         let mut w = plan.db.write_block(rank);
         if let Some(mut dst) = w.mat_mut() {
@@ -330,6 +363,9 @@ fn run_rank_blocking<C: Comm>(
         let (report, scratch) = machine.into_scratch();
         extract_entry(plan, rank, &outputs[e]);
         samples[e].compute_s += comm.now() - t0;
+        samples[e].tasks_run = report.tasks as u64;
+        samples[e].tasks_masked = report.masked_tasks as u64;
+        samples[e].flops_skipped = report.skipped_flops;
         (report, scratch)
     };
 
@@ -563,6 +599,9 @@ impl RankTask for BatchRankTask<'_> {
                     let (report, scratch) =
                         self.machine.take().expect("machine exists").into_scratch();
                     self.scratch = scratch;
+                    self.samples[e].tasks_run = report.tasks as u64;
+                    self.samples[e].tasks_masked = report.masked_tasks as u64;
+                    self.samples[e].flops_skipped = report.skipped_flops;
                     self.reports.push(report);
                     extract_entry(&self.plans[e], self.comm.rank(), &self.outputs[e]);
                     self.samples[e].compute_s += self.comm.now() - t0;
@@ -620,6 +659,8 @@ fn assemble_batch(
             reports[e].tasks += ro.reports[e].tasks;
             reports[e].fetched_blocks += ro.reports[e].fetched_blocks;
             reports[e].direct_blocks += ro.reports[e].direct_blocks;
+            reports[e].masked_tasks += ro.reports[e].masked_tasks;
+            reports[e].skipped_flops += ro.reports[e].skipped_flops;
         }
         entries.push(EntryStats {
             index: e,
@@ -750,7 +791,9 @@ fn multiply_batch_exec_inner(
 
 /// Serial reference for every entry: `C_e = α·A_e·B_e + β·C0_e` (zeros
 /// when `c0` is absent) — operands logical, exactly as the batch stages
-/// them.
+/// them. Entries with block-sparsity masks multiply the **masked
+/// copies** (masked blocks zeroed), enforcing the semantics that data
+/// inside a masked block is ignored.
 pub fn batch_serial_reference(batch: &BatchSpec) -> Vec<Matrix> {
     batch
         .entries
@@ -762,12 +805,14 @@ pub fn batch_serial_reference(batch: &BatchSpec) -> Vec<Matrix> {
             };
             c.as_mut().scale(e.spec.beta);
             if e.spec.k > 0 {
+                let am = e.mask_a.as_ref().map(|m| m.masked_copy(&e.a));
+                let bm = e.mask_b.as_ref().map(|m| m.masked_copy(&e.b));
                 srumma_dense::dgemm(
                     Op::N,
                     Op::N,
                     e.spec.alpha,
-                    e.a.as_ref(),
-                    e.b.as_ref(),
+                    am.as_ref().unwrap_or(&e.a).as_ref(),
+                    bm.as_ref().unwrap_or(&e.b).as_ref(),
                     1.0,
                     c.as_mut(),
                 );

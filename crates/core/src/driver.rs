@@ -9,14 +9,14 @@
 //!   scale: returns only timing/statistics.
 
 use crate::api::{parallel_gemm, Algorithm};
-use crate::layout::{dist_a, dist_b, dist_c, scatter_operands};
-use crate::options::GemmSpec;
-use crate::srumma::{SrummaRankTask, SrummaReport};
+use crate::layout::{dist_a, dist_b, dist_c, scatter_operands, set_a_mask, set_b_mask};
+use crate::options::{GemmSpec, SrummaOptions};
+use crate::srumma::{srumma, SrummaRankTask, SrummaReport};
 use srumma_comm::{
     exec_run, exec_run_tasks, exec_run_traced, sim_run, thread_run, thread_run_traced,
     ExecRunResult, SimOptions,
 };
-use srumma_dense::Matrix;
+use srumma_dense::{BlockMask, Matrix};
 use srumma_model::{Machine, ProcGrid};
 use srumma_sim::RunStats;
 use srumma_trace::TraceEvent;
@@ -223,6 +223,152 @@ fn multiply_exec_inner(
         }
     };
     (dc.gather(), res)
+}
+
+/// Logical block masks for a sparse multiply. `a` is `grid.p × kparts`
+/// over the logical `m × k` operand, `b` is `kparts × grid.q` over the
+/// logical `k × n` operand ([`crate::layout::set_a_mask`] resolves the
+/// transpose to stored coordinates). `None` means dense.
+#[derive(Clone, Debug, Default)]
+pub struct SparseMasks {
+    /// Logical mask for A, or `None` for a dense operand.
+    pub a: Option<BlockMask>,
+    /// Logical mask for B, or `None` for a dense operand.
+    pub b: Option<BlockMask>,
+}
+
+impl SparseMasks {
+    /// Mask both operands.
+    pub fn new(a: BlockMask, b: BlockMask) -> Self {
+        Self {
+            a: Some(a),
+            b: Some(b),
+        }
+    }
+
+    /// Mask only A (B dense).
+    pub fn a_only(a: BlockMask) -> Self {
+        Self {
+            a: Some(a),
+            b: None,
+        }
+    }
+
+    /// Mask only B (A dense).
+    pub fn b_only(b: BlockMask) -> Self {
+        Self {
+            a: None,
+            b: Some(b),
+        }
+    }
+
+    fn apply(
+        &self,
+        spec: &GemmSpec,
+        da: &mut srumma_comm::DistMatrix,
+        db: &mut srumma_comm::DistMatrix,
+    ) {
+        if let Some(m) = &self.a {
+            set_a_mask(spec, da, m.clone());
+        }
+        if let Some(m) = &self.b {
+            set_b_mask(spec, db, m.clone());
+        }
+    }
+}
+
+/// Block-sparse [`multiply_threads`]: SRUMMA on real host threads with
+/// masked task generation. Blocks of `a`/`b` flagged zero by `masks`
+/// contribute nothing — their gets, packing and kernel calls are
+/// pruned before ordering, so whatever data sits inside them is
+/// ignored. Returns `(C, wall seconds)`.
+pub fn multiply_threads_sparse(
+    nranks: usize,
+    opts: &SrummaOptions,
+    spec: &GemmSpec,
+    a: &Matrix,
+    b: &Matrix,
+    masks: &SparseMasks,
+) -> (Matrix, f64) {
+    let grid = default_grid(nranks);
+    let mut da = dist_a(spec, grid, true);
+    let mut db = dist_b(spec, grid, true);
+    let dc = dist_c(spec, grid, true);
+    scatter_operands(spec, &da, &db, a, b);
+    masks.apply(spec, &mut da, &mut db);
+    let res = thread_run(nranks, |comm| {
+        srumma(comm, spec, &da, &db, &dc, opts);
+    });
+    (dc.gather(), res.wall_seconds)
+}
+
+/// Block-sparse [`multiply_verified`]: SRUMMA on real data under the
+/// simulated `machine` with masked task generation. Returns
+/// `(C, stats)` — `stats` carries the per-rank surviving-task counts
+/// and skipped-flop totals.
+pub fn multiply_verified_sparse(
+    machine: &Machine,
+    nranks: usize,
+    opts: &SrummaOptions,
+    spec: &GemmSpec,
+    a: &Matrix,
+    b: &Matrix,
+    masks: &SparseMasks,
+) -> (Matrix, RunStats) {
+    let grid = default_grid(nranks);
+    let mut da = dist_a(spec, grid, true);
+    let mut db = dist_b(spec, grid, true);
+    let dc = dist_c(spec, grid, true);
+    scatter_operands(spec, &da, &db, a, b);
+    masks.apply(spec, &mut da, &mut db);
+    let sim_opts = SimOptions::new(machine.clone(), nranks);
+    let res = sim_run(&sim_opts, |comm| {
+        srumma(comm, spec, &da, &db, &dc, opts);
+    });
+    (dc.gather(), res.stats)
+}
+
+/// Block-sparse [`multiply_exec`]: SRUMMA rank state machines on the
+/// work-stealing executor with masked task generation. A rank whose
+/// every block is masked still participates in every barrier and
+/// β-scales its C tiles. Returns the numeric result and the full run
+/// result (per-rank [`SrummaReport`]s include `masked_tasks` /
+/// `skipped_flops`).
+pub fn multiply_exec_sparse(
+    nranks: usize,
+    workers: usize,
+    opts: &SrummaOptions,
+    spec: &GemmSpec,
+    a: &Matrix,
+    b: &Matrix,
+    masks: &SparseMasks,
+) -> (Matrix, ExecRunResult<SrummaReport>) {
+    let grid = default_grid(nranks);
+    let mut da = dist_a(spec, grid, true);
+    let mut db = dist_b(spec, grid, true);
+    let dc = dist_c(spec, grid, true);
+    scatter_operands(spec, &da, &db, a, b);
+    masks.apply(spec, &mut da, &mut db);
+    let res = exec_run_tasks(nranks, workers, false, |comm| {
+        Box::new(SrummaRankTask::new(comm, spec, &da, &db, &dc, opts))
+    });
+    (dc.gather(), res)
+}
+
+/// The serial reference for a block-sparse multiply: zero out the
+/// masked blocks of the logical operands, then run the dense serial
+/// kernel. Matches the pruned parallel paths exactly — a pruned task
+/// is one whose A or B block is numerically zero here, so its
+/// contribution to `C` is zero.
+pub fn sparse_serial_reference(
+    spec: &GemmSpec,
+    a: &Matrix,
+    b: &Matrix,
+    masks: &SparseMasks,
+) -> Matrix {
+    let am = masks.a.as_ref().map(|m| m.masked_copy(a));
+    let bm = masks.b.as_ref().map(|m| m.masked_copy(b));
+    serial_reference(spec, am.as_ref().unwrap_or(a), bm.as_ref().unwrap_or(b))
 }
 
 /// The serial reference result for verification. `a` and `b` are the

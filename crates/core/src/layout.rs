@@ -19,7 +19,7 @@
 use crate::options::GemmSpec;
 use srumma_comm::dist::RankOrder;
 use srumma_comm::DistMatrix;
-use srumma_dense::{MatRef, Op};
+use srumma_dense::{BlockMask, MatRef, Op};
 use srumma_model::ProcGrid;
 
 /// Number of k-panels of A (one per grid column).
@@ -157,6 +157,61 @@ pub fn dist_c_in_arena(
         base,
         stride,
     )
+}
+
+/// Attach a **logical** block-sparsity mask to stored A. The logical
+/// mask is shaped like `op(A)`'s blocking: `p` C-row blocks × `q`
+/// k-panels (the C grid). For transposed storage the stored grid is
+/// flipped, so the mask is transposed to stored coordinates before
+/// attachment — callers always think in logical blocks.
+pub fn set_a_mask(spec: &GemmSpec, da: &mut DistMatrix, logical: BlockMask) {
+    match spec.transa {
+        Op::N => da.set_mask(logical),
+        Op::T => da.set_mask(logical.transposed()),
+    }
+}
+
+/// Attach a **logical** mask to stored B (`p` k-panels × `q` C-column
+/// blocks; see [`set_a_mask`]).
+pub fn set_b_mask(spec: &GemmSpec, db: &mut DistMatrix, logical: BlockMask) {
+    match spec.transb {
+        Op::N => db.set_mask(logical),
+        Op::T => db.set_mask(logical.transposed()),
+    }
+}
+
+/// Derive C's nonzero structure from the operand masks:
+/// `C_ij` is nonzero iff some surviving k-segment hits it —
+/// `∃ t: mask_a[i][t.la] AND mask_b[t.lb][j]` over the merged-segment
+/// task list. On a square grid (where A's and B's k-panels coincide)
+/// this reduces to the boolean product [`BlockMask::matmul`]; the
+/// merged-segment form is the general `p ≠ q` version.
+///
+/// The derived mask is *diagnostic* — correctness comes from task
+/// pruning plus the unconditional β pre-pass, which scales every C
+/// block (masked or not) even on ranks whose whole k-row vanished.
+pub fn derive_c_mask(
+    k: usize,
+    grid: ProcGrid,
+    mask_a: &BlockMask,
+    mask_b: &BlockMask,
+) -> BlockMask {
+    assert_eq!(
+        (mask_a.rows(), mask_a.cols()),
+        (grid.p, a_kparts(grid)),
+        "A mask must be p x q (C-row blocks x A k-panels)"
+    );
+    assert_eq!(
+        (mask_b.rows(), mask_b.cols()),
+        (b_kparts(grid), grid.q),
+        "B mask must be p x q (B k-panels x C-column blocks)"
+    );
+    let tasks = crate::taskorder::build_tasks(k.max(1), a_kparts(grid), b_kparts(grid));
+    BlockMask::from_fn(grid.p, grid.q, |i, j| {
+        tasks
+            .iter()
+            .any(|t| mask_a.get(i, t.la) && mask_b.get(t.lb, j))
+    })
 }
 
 /// Rank owning logical block `op(A)_{i, la}` (C-row `i`, k-panel `la`).
@@ -321,6 +376,70 @@ mod tests {
         assert_eq!(v.cols(), 2);
         assert_eq!(v.at(0, 0), logical[(0, 5)]);
         assert_eq!(v.at(3, 1), logical[(3, 6)]);
+    }
+
+    #[test]
+    fn logical_masks_land_on_logical_owners_all_cases() {
+        // Whatever the storage transposition, the rank that owns
+        // logical block op(A)(i, la) must see exactly mask[i][la].
+        let grid = ProcGrid::new(2, 3);
+        let mask_a = BlockMask::from_fn(grid.p, a_kparts(grid), |i, la| (i + la) % 2 == 0);
+        let mask_b = BlockMask::from_fn(b_kparts(grid), grid.q, |lb, j| (lb * 3 + j) % 2 == 1);
+        for spec in specs() {
+            let mut da = dist_a(&spec, grid, false);
+            let mut db = dist_b(&spec, grid, false);
+            set_a_mask(&spec, &mut da, mask_a.clone());
+            set_b_mask(&spec, &mut db, mask_b.clone());
+            for i in 0..grid.p {
+                for la in 0..a_kparts(grid) {
+                    let owner = a_owner(&spec, grid, i, la);
+                    assert_eq!(
+                        da.block_nonzero(owner),
+                        mask_a.get(i, la),
+                        "{spec:?} A ({i},{la})"
+                    );
+                }
+            }
+            for lb in 0..b_kparts(grid) {
+                for j in 0..grid.q {
+                    let owner = b_owner(&spec, grid, lb, j);
+                    assert_eq!(
+                        db.block_nonzero(owner),
+                        mask_b.get(lb, j),
+                        "{spec:?} B ({lb},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derived_c_mask_is_boolean_product_on_square_grids() {
+        let grid = ProcGrid::new(3, 3);
+        let ma = BlockMask::from_fn(3, 3, |i, l| i == l);
+        let mb = BlockMask::from_fn(3, 3, |l, j| l == 0 && j < 2);
+        let derived = derive_c_mask(30, grid, &ma, &mb);
+        assert_eq!(derived, ma.matmul(&mb));
+        // Empty operand structure derives an empty C.
+        let none = derive_c_mask(30, grid, &BlockMask::empty(3, 3), &mb);
+        assert_eq!(none.nnz(), 0);
+    }
+
+    #[test]
+    fn derived_c_mask_uses_merged_segments_on_nonsquare_grids() {
+        // p=2, q=3: A has 3 k-panels, B has 2. A segment straddling
+        // both partitions links A panel la with B panel lb.
+        let grid = ProcGrid::new(2, 3);
+        let ma = BlockMask::from_fn(2, 3, |_, la| la == 2); // only A k-panel 2
+        let mb = BlockMask::from_fn(2, 3, |lb, _| lb == 1); // only B k-panel 1
+                                                            // k=6: A panels cover k 0..2,2..4,4..6; B panels 0..3,3..6.
+                                                            // Segment 4..6 has la=2, lb=1 → every C block survives.
+        let c = derive_c_mask(6, grid, &ma, &mb);
+        assert!(c.is_full());
+        // But A k-panel 0 (k 0..2) only overlaps B panel 0 → nothing.
+        let ma0 = BlockMask::from_fn(2, 3, |_, la| la == 0);
+        let c0 = derive_c_mask(6, grid, &ma0, &mb);
+        assert_eq!(c0.nnz(), 0);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub use batch::{
     batch_serial_reference, multiply_batch, multiply_batch_exec, multiply_batch_sim,
     multiply_batch_traced, BatchEntry, BatchResult, BatchSpec,
 };
+pub use driver::SparseMasks;
 pub use options::{GemmSpec, ShmemFlavor, SrummaOptions};
 pub use srumma::{srumma as srumma_gemm, SrummaMachine, SrummaRankTask, SrummaReport};
 pub use summa::SummaOptions;

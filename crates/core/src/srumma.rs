@@ -36,6 +36,12 @@ pub struct SrummaReport {
     pub fetched_blocks: usize,
     /// Blocks passed to the kernel directly from shared memory.
     pub direct_blocks: usize,
+    /// Segment tasks pruned by block-sparsity masks — their gets,
+    /// packing and gemm never ran.
+    pub masked_tasks: usize,
+    /// Flops the pruned tasks would have cost this rank
+    /// (`2 · c_rows · c_cols · skipped_k`).
+    pub skipped_flops: u64,
 }
 
 /// How one operand block reaches the kernel.
@@ -247,6 +253,30 @@ impl<'a> SrummaMachine<'a> {
         let depth = opts.effective_depth();
 
         build_tasks_into(&mut tasks, spec.k, aparts, bparts);
+
+        // Block-sparsity pruning: a k-segment whose A block or B block
+        // is masked out contributes nothing to this rank's C_ij, so the
+        // task never exists — no get, no packing, no gemm. Pruning
+        // happens before ordering, so the scheduling policies see only
+        // surviving tasks; the β pre-pass below stays unconditional, so
+        // a rank whose entire k-row vanished still applies `C ← β·C`
+        // (and still arrives at every fence — it simply has no work).
+        let mut masked_tasks = 0usize;
+        let mut skipped_flops = 0u64;
+        if a.mask().is_some() || b.mask().is_some() {
+            let (pruned, skipped_k) = crate::taskorder::prune_masked_tasks(&mut tasks, |t| {
+                a.block_nonzero(a_owner(spec, grid, gi, t.la))
+                    && b.block_nonzero(b_owner(spec, grid, t.lb, gj))
+            });
+            if pruned > 0 {
+                let crows = srumma_comm::dist::chunk_len(spec.m, grid.p, gi);
+                let ccols = srumma_comm::dist::chunk_len(spec.n, grid.q, gj);
+                masked_tasks = pruned;
+                skipped_flops = 2 * (crows * ccols * skipped_k) as u64;
+                comm.recorder().count_masked(pruned as u64, skipped_flops);
+            }
+        }
+
         let shift = if opts.diagonal_shift {
             diagonal_shift_origin(gi, gj, aparts)
         } else {
@@ -330,7 +360,11 @@ impl<'a> SrummaMachine<'a> {
             crows,
             ccols,
             pos: 0,
-            report: SrummaReport::default(),
+            report: SrummaReport {
+                masked_tasks,
+                skipped_flops,
+                ..SrummaReport::default()
+            },
             tasks,
             order,
             sources,
@@ -763,6 +797,99 @@ mod tests {
             "the evicted slot's pending get must be waited on, not dropped"
         );
         assert_eq!(fetched, 3);
+    }
+
+    /// Masked blocks are *declared* zero: whatever data their storage
+    /// holds must be ignored. This scatters full random operands and
+    /// relies purely on task pruning, comparing against the masked
+    /// serial reference (operands with masked blocks zeroed).
+    #[test]
+    fn masked_multiply_prunes_tasks_and_ignores_masked_data() {
+        use srumma_dense::{BlockMask, Matrix};
+        let spec = GemmSpec::square(12);
+        let grid = ProcGrid::new(2, 3);
+        let nranks = grid.nranks();
+        let aparts = crate::layout::a_kparts(grid);
+        let bparts = crate::layout::b_kparts(grid);
+        let mask_a = BlockMask::from_fn(grid.p, aparts, |i, la| (i + la) % 2 == 0);
+        let mask_b = BlockMask::from_fn(bparts, grid.q, |lb, j| lb == 0 || j == 2);
+        let mut da = crate::layout::dist_a(&spec, grid, true);
+        let mut db = crate::layout::dist_b(&spec, grid, true);
+        let dc = crate::layout::dist_c(&spec, grid, true);
+        let a = Matrix::random(spec.m, spec.k, 21);
+        let b = Matrix::random(spec.k, spec.n, 22);
+        crate::layout::scatter_operands(&spec, &da, &db, &a, &b);
+        crate::layout::set_a_mask(&spec, &mut da, mask_a.clone());
+        crate::layout::set_b_mask(&spec, &mut db, mask_b.clone());
+        let opts = SrummaOptions {
+            shmem: ShmemFlavor::ForceCopy,
+            ..Default::default()
+        };
+        let dense_tasks = crate::taskorder::build_tasks(spec.k, aparts, bparts).len();
+        for rank in 0..nranks {
+            let mut comm = CountingComm::new(rank, nranks);
+            let report = srumma(&mut comm, &spec, &da, &db, &dc, &opts);
+            // Pruned + executed tile the dense task list exactly.
+            assert_eq!(report.tasks + report.masked_tasks, dense_tasks);
+            assert_eq!(report.fetched_blocks, comm.issued, "rank {rank}");
+            assert_eq!(comm.issued, comm.completed, "rank {rank}");
+            assert_eq!(
+                comm.recorder.counters.tasks_masked,
+                report.masked_tasks as u64
+            );
+            assert_eq!(comm.recorder.counters.flops_skipped, report.skipped_flops);
+        }
+        // Masked serial reference: zero the masked logical blocks, then
+        // multiply densely.
+        let am = mask_a.masked_copy(&a);
+        let bm = mask_b.masked_copy(&b);
+        let want = crate::driver::serial_reference(&spec, &am, &bm);
+        let got = dc.gather();
+        for i in 0..spec.m {
+            for j in 0..spec.n {
+                assert!(
+                    (got[(i, j)] - want[(i, j)]).abs() < 1e-10,
+                    "C[{i},{j}]: got {} want {}",
+                    got[(i, j)],
+                    want[(i, j)]
+                );
+            }
+        }
+    }
+
+    /// An all-masked operand prunes every task on every rank, yet each
+    /// rank still applies the β pre-pass to its C tile and returns
+    /// cleanly — the empty-rank path the fences depend on.
+    #[test]
+    fn fully_masked_operand_still_beta_scales_c() {
+        use srumma_dense::{BlockMask, Matrix};
+        let spec = GemmSpec::square(8).with_scalars(2.0, 0.5);
+        let grid = ProcGrid::new(2, 2);
+        let mut da = crate::layout::dist_a(&spec, grid, true);
+        let db = crate::layout::dist_b(&spec, grid, true);
+        let dc = crate::layout::dist_c(&spec, grid, true);
+        let a = Matrix::random(8, 8, 31);
+        let b = Matrix::random(8, 8, 32);
+        crate::layout::scatter_operands(&spec, &da, &db, &a, &b);
+        crate::layout::set_a_mask(&spec, &mut da, BlockMask::empty(2, 2));
+        let c0 = Matrix::random(8, 8, 33);
+        dc.scatter(&c0);
+        for rank in 0..grid.nranks() {
+            let mut comm = CountingComm::new(rank, grid.nranks());
+            let report = srumma(&mut comm, &spec, &da, &db, &dc, &SrummaOptions::default());
+            assert_eq!(report.tasks, 0, "rank {rank} must run nothing");
+            assert!(report.masked_tasks > 0);
+            assert_eq!(comm.issued, 0, "no gets for pruned tasks");
+        }
+        let got = dc.gather();
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!(
+                    (got[(i, j)] - 0.5 * c0[(i, j)]).abs() < 1e-14,
+                    "beta pre-pass must run on empty ranks"
+                );
+            }
+        }
     }
 
     /// Every issued get is eventually waited on across a full multiply,

@@ -184,6 +184,33 @@ pub fn order_tasks_into(
     }
 }
 
+/// Drop every task the block-sparsity predicate rejects (its A or B
+/// block is masked out, so the k-segment contributes nothing to
+/// `C_ij`). Returns `(pruned_tasks, skipped_k)` — the number of tasks
+/// removed and the total k-width they covered, from which the caller
+/// computes skipped flops (`2 · c_rows · c_cols · skipped_k`).
+///
+/// Surviving tasks keep their k order, so the scheduling policies
+/// ([`order_tasks_into`]) apply to the pruned list unchanged; an
+/// all-pruned list is fine — ordering and the rank state machines
+/// tolerate empty task lists (the rank still runs its β pre-pass and
+/// arrives at every fence).
+pub fn prune_masked_tasks(
+    tasks: &mut Vec<Task>,
+    mut keep: impl FnMut(&Task) -> bool,
+) -> (usize, usize) {
+    let before = tasks.len();
+    let mut skipped_k = 0;
+    tasks.retain(|t| {
+        let live = keep(t);
+        if !live {
+            skipped_k += t.klen();
+        }
+        live
+    });
+    (before - tasks.len(), skipped_k)
+}
+
 /// The diagonal-shift origin for the process at grid coordinates
 /// `(i, j)`: neighbours on the same node (which differ in `j`, and on
 /// wide nodes in `i` too) start at different panels.
@@ -273,6 +300,30 @@ mod tests {
         let c = diagonal_shift_origin(1, 0, 4);
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn prune_drops_rejected_tasks_and_counts_k() {
+        let mut tasks = build_tasks(100, 5, 5); // 5 tasks of k-width 20
+        let (pruned, skipped_k) = prune_masked_tasks(&mut tasks, |t| t.la % 2 == 0);
+        assert_eq!(pruned, 2);
+        assert_eq!(skipped_k, 40);
+        assert_eq!(
+            tasks.iter().map(|t| t.la).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+        // Survivors still order cleanly, including with a shift that
+        // points at a pruned panel (falls back to the list head).
+        let order = order_tasks(tasks.len(), &tasks, 5, 3, false, |_| false);
+        assert_eq!(order.len(), 3);
+
+        // Pruning everything leaves a valid empty list.
+        let (pruned, skipped_k) = prune_masked_tasks(&mut tasks, |_| false);
+        assert_eq!(pruned, 3);
+        assert_eq!(skipped_k, 60);
+        assert!(tasks.is_empty());
+        let order = order_tasks(0, &tasks, 5, 2, true, |_| true);
+        assert!(order.is_empty());
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! without a property-testing framework).
 
 use srumma_core::batch::{batch_serial_reference, BatchEntry, BatchSpec};
+use srumma_core::driver::default_grid;
 use srumma_core::{GemmSpec, SrummaOptions};
-use srumma_dense::{max_abs_diff, Matrix, Op, Rng};
+use srumma_dense::{max_abs_diff, BlockMask, Matrix, Op, Rng};
 use srumma_model::Machine;
 
 fn random_op(rng: &mut Rng) -> Op {
@@ -25,9 +26,14 @@ fn tolerance(k: usize) -> f64 {
 }
 
 /// A random batch: 1–8 entries, extents 1–24 (k occasionally 0), all
-/// four transpose cases, random `α`/`β`, optional initial C, and an
-/// occasional per-entry options override.
-fn random_batch(rng: &mut Rng) -> BatchSpec {
+/// four transpose cases, random `α`/`β`, optional initial C, an
+/// occasional per-entry options override, and an occasional block-mask
+/// pair (shaped for the grid of `nranks`, which is why callers pick
+/// the rank count *before* the batch). Mask densities include both
+/// degenerate ends — 0 (the entry computes only `β·C`) and 1 (the
+/// mask must change nothing).
+fn random_batch(rng: &mut Rng, nranks: usize) -> BatchSpec {
+    let grid = default_grid(nranks);
     let mut batch = BatchSpec::new().with_window(rng.range(1, 4));
     let entries = rng.range(1, 8);
     for _ in 0..entries {
@@ -56,6 +62,21 @@ fn random_batch(rng: &mut Rng) -> BatchSpec {
                 ..SrummaOptions::default()
             });
         }
+        if rng.chance(0.4) {
+            let density = |rng: &mut Rng| match rng.below(5) {
+                0 => 0.0,
+                1 => 1.0,
+                _ => 0.25 + 0.25 * rng.below(3) as f64,
+            };
+            let ma = BlockMask::random(grid.p, grid.q, density(rng), seed + 3);
+            let mb = BlockMask::random(grid.p, grid.q, density(rng), seed + 4);
+            // Sometimes mask only one operand.
+            match rng.below(4) {
+                0 => e = e.with_masks(Some(ma), None),
+                1 => e = e.with_masks(None, Some(mb)),
+                _ => e = e.with_masks(Some(ma), Some(mb)),
+            }
+        }
         batch.push(e);
     }
     batch
@@ -82,8 +103,8 @@ fn check(outputs: &[Matrix], batch: &BatchSpec, case: u64, what: &str) {
 fn random_batches_on_threads_match_serial() {
     for case in 0..16u64 {
         let mut rng = Rng::new(0xBA7C_0001 + case);
-        let batch = random_batch(&mut rng);
         let nranks = rng.range(1, 8);
+        let batch = random_batch(&mut rng, nranks);
         let res = srumma_core::batch::multiply_batch(&batch, nranks);
         check(&res.outputs, &batch, case, &format!("threads x{nranks}"));
         for &g in &res.ws_grow_counts {
@@ -92,13 +113,56 @@ fn random_batches_on_threads_match_serial() {
     }
 }
 
+/// Heavily sparse batch on a heavily oversubscribed executor: 128
+/// logical ranks on 2 workers, every entry masked at low density, so
+/// most ranks have *no* surviving tasks in most entries and cross an
+/// entire batch of epoch fences doing nothing but β-scaling C. A rank
+/// that skips a fence because it had no work deadlocks the ring here.
+#[test]
+fn sparse_batch_on_128_ranks_2_workers() {
+    let (nranks, workers) = (128, 2);
+    let grid = default_grid(nranks);
+    let mut batch = BatchSpec::new();
+    for e in 0..6u64 {
+        let n = 40 + 4 * e as usize;
+        let spec = GemmSpec::new(
+            if e % 2 == 0 { Op::N } else { Op::T },
+            if e % 3 == 0 { Op::T } else { Op::N },
+            n,
+            n,
+            n,
+        )
+        .with_scalars(1.0, 0.5);
+        let entry = BatchEntry::new(
+            spec,
+            Matrix::random(n, n, 0xE0 + e),
+            Matrix::random(n, n, 0xE1 + e),
+        )
+        .with_c0(Matrix::random(n, n, 0xE2 + e))
+        .with_masks(
+            Some(BlockMask::random(grid.p, grid.q, 0.15, 0xE3 + e)),
+            Some(BlockMask::random(grid.p, grid.q, 0.15, 0xE4 + e)),
+        );
+        batch.push(entry);
+    }
+    let res = srumma_core::batch::multiply_batch_exec(&batch, nranks, workers);
+    check(&res.outputs, &batch, 0, "sparse exec x128 on 2 workers");
+    assert!(
+        res.stats.tasks_masked_total() > 0,
+        "low-density masks pruned nothing"
+    );
+    for &g in &res.ws_grow_counts {
+        assert!(g <= 1, "workspace grew {g} times");
+    }
+}
+
 #[test]
 fn random_batches_on_sim_match_serial() {
     let machines = [Machine::linux_myrinet(), Machine::sgi_altix()];
     for case in 0..8u64 {
         let mut rng = Rng::new(0xBA7C_0002 + case);
-        let batch = random_batch(&mut rng);
         let nranks = rng.range(1, 6);
+        let batch = random_batch(&mut rng, nranks);
         let machine = rng.pick(&machines);
         let res = srumma_core::batch::multiply_batch_sim(&batch, machine, nranks);
         check(&res.outputs, &batch, case, &format!("sim x{nranks}"));
@@ -112,8 +176,8 @@ fn random_batches_on_sim_match_serial() {
 fn random_batches_on_oversubscribed_executor_match_serial() {
     for case in 0..16u64 {
         let mut rng = Rng::new(0xBA7C_0003 + case);
-        let batch = random_batch(&mut rng);
         let nranks = rng.range(2, 12);
+        let batch = random_batch(&mut rng, nranks);
         let workers = rng.range(1, (nranks / 2).max(1));
         let res = srumma_core::batch::multiply_batch_exec(&batch, nranks, workers);
         check(

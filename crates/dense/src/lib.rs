@@ -39,6 +39,7 @@ pub mod blocked;
 pub mod effmodel;
 pub mod gemm;
 pub mod kernel;
+pub mod mask;
 pub mod matrix;
 pub mod naive;
 pub mod pack;
@@ -51,6 +52,7 @@ pub use blocked::{BlockSizes, GemmWorkspace};
 pub use effmodel::EffModel;
 pub use gemm::{dgemm, dgemm_into, dgemm_ws, Op};
 pub use kernel::{active_kernel, Microkernel};
+pub use mask::BlockMask;
 pub use matrix::{MatMut, MatRef, Matrix};
 pub use rng::Rng;
 pub use verify::{assert_close, max_abs_diff, rel_fro_error};

@@ -32,6 +32,13 @@ pub struct EntryRankSample {
     pub t_start: f64,
     /// Wall time this rank arrived at the entry's done fence.
     pub t_end: f64,
+    /// Tasks this rank executed for the entry (surviving tasks under a
+    /// block-sparsity mask; all tasks when dense).
+    pub tasks_run: u64,
+    /// Tasks masked out for this rank (pruned before execution).
+    pub tasks_masked: u64,
+    /// Flops the pruned tasks would have cost this rank.
+    pub flops_skipped: u64,
 }
 
 /// One batch entry aggregated across ranks.
@@ -64,8 +71,13 @@ impl EntryStats {
     }
 
     /// Wall span of the entry: first touch by any rank to the last done
-    /// arrival.
+    /// arrival. An entry with no samples (or all-zero timestamps, e.g.
+    /// a fully masked-out entry on virtual backing) reports 0, not a
+    /// NaN/negative artifact of folding over empty iterators.
     pub fn span_s(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
         let t0 = self
             .samples
             .iter()
@@ -73,6 +85,34 @@ impl EntryStats {
             .fold(f64::INFINITY, f64::min);
         let t1 = self.samples.iter().map(|s| s.t_end).fold(0.0, f64::max);
         (t1 - t0).max(0.0)
+    }
+
+    /// Tasks executed across ranks for this entry.
+    pub fn tasks_run(&self) -> u64 {
+        self.samples.iter().map(|s| s.tasks_run).sum()
+    }
+
+    /// Tasks pruned by masks across ranks for this entry.
+    pub fn tasks_masked(&self) -> u64 {
+        self.samples.iter().map(|s| s.tasks_masked).sum()
+    }
+
+    /// Flops skipped across ranks for this entry.
+    pub fn flops_skipped(&self) -> u64 {
+        self.samples.iter().map(|s| s.flops_skipped).sum()
+    }
+
+    /// Per-rank surviving-task imbalance for this entry:
+    /// `(max − min) / max` over per-rank executed-task counts, `[0, 1]`.
+    /// Returns 0 (never NaN) when no rank ran a task — the all-masked
+    /// and zero-rank cases sparsity makes common.
+    pub fn task_skew(&self) -> f64 {
+        let max = self.samples.iter().map(|s| s.tasks_run).max().unwrap_or(0);
+        if max == 0 {
+            return 0.0;
+        }
+        let min = self.samples.iter().map(|s| s.tasks_run).min().unwrap_or(0);
+        (max - min) as f64 / max as f64
     }
 
     /// The entry's timings in the per-run [`RunStats`] shape (compute
@@ -85,6 +125,9 @@ impl EntryStats {
             .map(|s| RankStats {
                 compute_time: s.compute_s,
                 barrier_time: s.fence_s,
+                tasks: s.tasks_run,
+                tasks_masked: s.tasks_masked,
+                flops_skipped: s.flops_skipped,
                 ..RankStats::default()
             })
             .collect();
@@ -146,6 +189,39 @@ impl BatchStats {
         (1.0 - self.wall_s / spans).clamp(0.0, 1.0)
     }
 
+    /// Tasks executed across the whole stream.
+    pub fn tasks_run_total(&self) -> u64 {
+        self.entries.iter().map(|e| e.tasks_run()).sum()
+    }
+
+    /// Tasks pruned by masks across the whole stream.
+    pub fn tasks_masked_total(&self) -> u64 {
+        self.entries.iter().map(|e| e.tasks_masked()).sum()
+    }
+
+    /// Flops skipped across the whole stream.
+    pub fn flops_skipped_total(&self) -> u64 {
+        self.entries.iter().map(|e| e.flops_skipped()).sum()
+    }
+
+    /// Mean per-entry task skew over entries that ran at least one
+    /// task. Entries that were fully masked out carry no imbalance
+    /// signal, so they are excluded rather than dragging the mean to 0;
+    /// a batch where *nothing* ran reports 0, never NaN — the same
+    /// guard discipline as `makespan_skew`.
+    pub fn mean_task_skew(&self) -> f64 {
+        let live: Vec<f64> = self
+            .entries
+            .iter()
+            .filter(|e| e.tasks_run() > 0)
+            .map(|e| e.task_skew())
+            .collect();
+        if live.is_empty() {
+            return 0.0;
+        }
+        live.iter().sum::<f64>() / live.len() as f64
+    }
+
     /// Useful GFLOP/s of the whole stream.
     pub fn gflops(&self) -> f64 {
         if self.wall_s <= 0.0 {
@@ -169,6 +245,10 @@ impl BatchStats {
         o.num("fence_seconds_total", self.fence_s_total());
         o.num("fence_seconds_per_entry", self.fence_s_per_entry());
         o.num("inter_entry_overlap", self.inter_entry_overlap());
+        o.int("tasks_run", self.tasks_run_total());
+        o.int("tasks_masked", self.tasks_masked_total());
+        o.int("flops_skipped", self.flops_skipped_total());
+        o.num("mean_task_skew", self.mean_task_skew());
         o.finish()
     }
 }
@@ -189,6 +269,9 @@ mod tests {
                     fence_s: fence,
                     t_start: t0,
                     t_end: t1,
+                    tasks_run: 3,
+                    tasks_masked: 1,
+                    flops_skipped: 100,
                 },
                 EntryRankSample {
                     stage_s: 0.01,
@@ -196,6 +279,9 @@ mod tests {
                     fence_s: fence * 2.0,
                     t_start: t0 + 0.1,
                     t_end: t1 - 0.1,
+                    tasks_run: 1,
+                    tasks_masked: 3,
+                    flops_skipped: 300,
                 },
             ],
         }
@@ -257,5 +343,62 @@ mod tests {
         assert_eq!(b.inter_entry_overlap(), 0.0);
         assert_eq!(b.fence_s_per_entry(), 0.0);
         assert_eq!(b.gflops(), 0.0);
+        assert_eq!(b.mean_task_skew(), 0.0);
+        assert_eq!(b.tasks_run_total(), 0);
+    }
+
+    #[test]
+    fn task_counters_roll_up() {
+        let e = entry(0, 0.0, 1.0, 0.5, 0.1);
+        assert_eq!(e.tasks_run(), 4);
+        assert_eq!(e.tasks_masked(), 4);
+        assert_eq!(e.flops_skipped(), 400);
+        // Ranks ran 3 and 1 tasks → skew (3−1)/3.
+        assert!((e.task_skew() - 2.0 / 3.0).abs() < 1e-12);
+        let rs = e.run_stats();
+        assert_eq!(rs.total_tasks(), 4);
+        assert_eq!(rs.total_tasks_masked(), 4);
+        let b = BatchStats::from_entries(vec![e.clone(), e], 2.0);
+        assert_eq!(b.tasks_run_total(), 8);
+        assert_eq!(b.flops_skipped_total(), 800);
+        assert!((b.mean_task_skew() - 2.0 / 3.0).abs() < 1e-12);
+        let j = b.summary_json();
+        assert!(j.contains("\"tasks_masked\": 8"), "{j}");
+        assert!(j.contains("\"mean_task_skew\""), "{j}");
+    }
+
+    #[test]
+    fn sparsity_edge_cases_yield_zero_not_nan() {
+        // Zero-duration entry (everything at t=0, e.g. fully masked on
+        // virtual backing): span and skews must be 0, not NaN.
+        let zero = EntryStats {
+            index: 0,
+            label: "masked".into(),
+            flops: 0.0,
+            samples: vec![EntryRankSample::default(); 3],
+        };
+        assert_eq!(zero.span_s(), 0.0);
+        assert_eq!(zero.task_skew(), 0.0);
+        assert!(zero.run_stats().makespan_skew().is_finite());
+
+        // No samples at all.
+        let hollow = EntryStats {
+            index: 1,
+            label: "hollow".into(),
+            flops: 0.0,
+            samples: vec![],
+        };
+        assert_eq!(hollow.span_s(), 0.0);
+        assert_eq!(hollow.task_skew(), 0.0);
+
+        // Single-entry batch of an all-skipped entry: every aggregate
+        // is finite, overlap and amortized fence seconds are 0.
+        let b = BatchStats::from_entries(vec![zero, hollow], 0.0);
+        assert_eq!(b.inter_entry_overlap(), 0.0);
+        assert_eq!(b.fence_s_per_entry(), 0.0);
+        assert_eq!(b.mean_task_skew(), 0.0);
+        assert_eq!(b.gflops(), 0.0);
+        let j = b.summary_json();
+        assert!(!j.contains("NaN") && !j.contains("nan"), "{j}");
     }
 }

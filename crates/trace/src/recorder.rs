@@ -17,6 +17,12 @@ pub struct Counters {
     pub blocks_direct: u64,
     /// Algorithm-level tasks executed.
     pub tasks: u64,
+    /// Tasks pruned by block-sparsity masks before execution (their
+    /// gets, packing and gemm never ran).
+    pub tasks_masked: u64,
+    /// Floating-point operations the pruned tasks would have cost
+    /// (`2·m·n·k` over the skipped k-segments).
+    pub flops_skipped: u64,
 }
 
 impl Counters {
@@ -27,6 +33,8 @@ impl Counters {
         self.bytes_direct += other.bytes_direct;
         self.blocks_direct += other.blocks_direct;
         self.tasks += other.tasks;
+        self.tasks_masked += other.tasks_masked;
+        self.flops_skipped += other.flops_skipped;
     }
 }
 
@@ -119,6 +127,14 @@ impl Recorder {
         self.counters.tasks += 1;
     }
 
+    /// Count tasks pruned by a block-sparsity mask and the flops they
+    /// would have cost.
+    #[inline]
+    pub fn count_masked(&mut self, tasks: u64, flops: u64) {
+        self.counters.tasks_masked += tasks;
+        self.counters.flops_skipped += flops;
+    }
+
     /// The events recorded so far.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
@@ -174,6 +190,8 @@ mod tests {
             bytes_direct: 20,
             blocks_direct: 2,
             tasks: 3,
+            tasks_masked: 2,
+            flops_skipped: 600,
         };
         a.merge(&Counters {
             bytes_fetched: 5,
@@ -181,8 +199,21 @@ mod tests {
             bytes_direct: 0,
             blocks_direct: 0,
             tasks: 1,
+            tasks_masked: 1,
+            flops_skipped: 400,
         });
         assert_eq!(a.bytes_fetched, 15);
         assert_eq!(a.tasks, 4);
+        assert_eq!(a.tasks_masked, 3);
+        assert_eq!(a.flops_skipped, 1000);
+    }
+
+    #[test]
+    fn count_masked_accumulates() {
+        let mut r = Recorder::disabled(0);
+        r.count_masked(3, 1200);
+        r.count_masked(0, 0);
+        assert_eq!(r.counters.tasks_masked, 3);
+        assert_eq!(r.counters.flops_skipped, 1200);
     }
 }

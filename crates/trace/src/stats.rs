@@ -36,6 +36,10 @@ pub struct RankStats {
     pub messages: u64,
     /// Algorithm-level tasks executed.
     pub tasks: u64,
+    /// Tasks pruned by block-sparsity masks (never executed).
+    pub tasks_masked: u64,
+    /// Flops the pruned tasks would have cost.
+    pub flops_skipped: u64,
     /// Sum over async transfers of their in-flight duration
     /// (issue→completion). Together with `wait_time` this yields the
     /// achieved overlap fraction.
@@ -68,6 +72,8 @@ impl RankStats {
     pub fn absorb_counters(&mut self, ctr: &Counters) {
         self.bytes_direct += ctr.bytes_direct;
         self.tasks += ctr.tasks;
+        self.tasks_masked += ctr.tasks_masked;
+        self.flops_skipped += ctr.flops_skipped;
     }
 }
 
@@ -198,6 +204,36 @@ impl RunStats {
         ((max - min) / self.makespan).clamp(0.0, 1.0)
     }
 
+    /// Total tasks executed across ranks.
+    pub fn total_tasks(&self) -> u64 {
+        self.ranks.iter().map(|r| r.tasks).sum()
+    }
+
+    /// Total tasks pruned by block-sparsity masks across ranks.
+    pub fn total_tasks_masked(&self) -> u64 {
+        self.ranks.iter().map(|r| r.tasks_masked).sum()
+    }
+
+    /// Total flops skipped thanks to masking, across ranks.
+    pub fn total_flops_skipped(&self) -> u64 {
+        self.ranks.iter().map(|r| r.flops_skipped).sum()
+    }
+
+    /// Per-rank surviving-task imbalance: `(max − min) / max` over the
+    /// per-rank executed-task counts, in `[0, 1]`. Block sparsity makes
+    /// this the load imbalance the work-stealing executor must absorb
+    /// (0 = balanced, →1 = a few ranks hold all the surviving work).
+    /// Returns 0 for empty runs and runs where **no** rank executed a
+    /// task (all-masked) — never NaN.
+    pub fn task_skew(&self) -> f64 {
+        let max = self.ranks.iter().map(|r| r.tasks).max().unwrap_or(0);
+        if max == 0 {
+            return 0.0;
+        }
+        let min = self.ranks.iter().map(|r| r.tasks).min().unwrap_or(0);
+        (max - min) as f64 / max as f64
+    }
+
     /// GFLOP/s achieved for a problem of `flops` floating point
     /// operations: `flops / makespan / 1e9`.
     pub fn gflops(&self, flops: f64) -> f64 {
@@ -260,7 +296,10 @@ impl RunStats {
         o.int("bytes_direct", self.total_direct_bytes());
         o.num("stall_time_seconds", self.total_stall_time());
         o.num("makespan_skew", self.makespan_skew());
-        o.int("tasks", self.ranks.iter().map(|r| r.tasks).sum::<u64>());
+        o.int("tasks", self.total_tasks());
+        o.int("tasks_masked", self.total_tasks_masked());
+        o.int("flops_skipped", self.total_flops_skipped());
+        o.num("task_skew", self.task_skew());
         if let Some(e) = &self.exec {
             o.int("exec_workers", e.workers as u64);
             o.num("exec_steal_rate", e.steal_rate());
@@ -329,6 +368,66 @@ mod tests {
         let rs = RunStats::default();
         assert_eq!(rs.gflops(1e9), 0.0);
         assert_eq!(rs.makespan_skew(), 0.0);
+    }
+
+    #[test]
+    fn task_skew_guards_all_masked_and_empty_runs() {
+        // No ranks at all → 0, not NaN.
+        assert_eq!(RunStats::default().task_skew(), 0.0);
+        // All ranks fully masked (zero executed tasks) → 0, not NaN.
+        let all_masked = RunStats {
+            ranks: vec![
+                RankStats {
+                    tasks_masked: 4,
+                    flops_skipped: 800,
+                    ..Default::default()
+                };
+                3
+            ],
+            ..Default::default()
+        };
+        assert_eq!(all_masked.task_skew(), 0.0);
+        assert_eq!(all_masked.total_tasks_masked(), 12);
+        assert_eq!(all_masked.total_flops_skipped(), 2400);
+        // One rank holds all surviving work → skew 1.
+        let skewed = RunStats {
+            ranks: vec![
+                RankStats {
+                    tasks: 8,
+                    ..Default::default()
+                },
+                RankStats::default(),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(skewed.task_skew(), 1.0);
+        // Balanced ranks → 0.
+        let balanced = RunStats {
+            ranks: vec![
+                RankStats {
+                    tasks: 4,
+                    ..Default::default()
+                };
+                2
+            ],
+            ..Default::default()
+        };
+        assert_eq!(balanced.task_skew(), 0.0);
+    }
+
+    #[test]
+    fn absorb_counters_folds_masked_totals() {
+        let mut s = RankStats::default();
+        s.absorb_counters(&Counters {
+            bytes_direct: 64,
+            tasks: 2,
+            tasks_masked: 3,
+            flops_skipped: 999,
+            ..Default::default()
+        });
+        assert_eq!(s.tasks, 2);
+        assert_eq!(s.tasks_masked, 3);
+        assert_eq!(s.flops_skipped, 999);
     }
 
     #[test]

@@ -31,6 +31,17 @@ echo "== batched-stream smoke: 32-entry batch on 2 workers =="
 timeout 300 cargo run --release -q -p srumma-bench \
     --bin bench_batched_gemm -- --smoke
 
+echo "== block-sparse smoke: density 25% on 2 workers =="
+# Masked task generation prunes gets/packing/gemm for dead blocks; a
+# pruning bug either corrupts C (serial-checked here) or desyncs a
+# fence on a rank with no surviving work (deadlock — bounded run).
+# Run under both kernel dispatch modes: the masked path must not
+# depend on which microkernel survives.
+timeout 300 cargo run --release -q -p srumma-bench \
+    --bin bench_sparse_gemm -- --smoke
+timeout 300 env SRUMMA_KERNEL=scalar cargo run --release -q -p srumma-bench \
+    --bin bench_sparse_gemm -- --smoke
+
 echo "== perf gate (hard): dense gemm kernel =="
 # Regenerate the kernel bench quickly and diff against the checked-in
 # baseline. Regressions FAIL CI by default; absolute GFLOP/s vary across
@@ -73,6 +84,22 @@ if [ -f results/BENCH_executor_scaling.json ]; then
     fi
 else
     echo "no checked-in baseline (results/BENCH_executor_scaling.json); skipping"
+fi
+
+echo "== perf gate (warn): block-sparse speedup vs density =="
+# Sparse pruning is a *throughput* feature: gate on the
+# sparse-over-dense speedup ratios, which are host-stable. Warn-only
+# for now — the sweep is long enough that runner load can smear a
+# single density cell; the smoke above is the hard correctness gate.
+if [ -f results/BENCH_sparse_gemm.json ]; then
+    cargo run --release -q -p srumma-bench --bin bench_sparse_gemm -- \
+        --quick --out /tmp/BENCH_sparse_gemm.json >/dev/null
+    if ! ./scripts/bench_diff results/BENCH_sparse_gemm.json /tmp/BENCH_sparse_gemm.json \
+        --strict --threshold 40 --only speedup_sparse; then
+        echo "WARNING: block-sparse speedup regressed vs checked-in baseline (warn-only gate)"
+    fi
+else
+    echo "no checked-in baseline (results/BENCH_sparse_gemm.json); skipping"
 fi
 
 echo "CI green."

@@ -18,6 +18,6 @@ pub use srumma_sim as sim;
 pub use srumma_trace as trace;
 
 pub use srumma_core::{Algorithm, GemmSpec, ShmemFlavor, SrummaOptions, SummaOptions};
-pub use srumma_core::{BatchEntry, BatchResult, BatchSpec};
-pub use srumma_dense::{Matrix, Op};
+pub use srumma_core::{BatchEntry, BatchResult, BatchSpec, SparseMasks};
+pub use srumma_dense::{BlockMask, Matrix, Op};
 pub use srumma_model::{Machine, Platform};

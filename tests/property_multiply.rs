@@ -6,9 +6,14 @@
 //! Seeds are deterministic (SplitMix64) and embedded in every assertion
 //! message, so a failure reproduces by running the named case alone.
 
-use srumma::core::driver::{multiply_exec, multiply_threads, multiply_verified, serial_reference};
+use srumma::core::driver::{
+    default_grid, multiply_exec, multiply_exec_sparse, multiply_threads, multiply_threads_sparse,
+    multiply_verified, multiply_verified_sparse, serial_reference, sparse_serial_reference,
+};
 use srumma::dense::{max_abs_diff, Rng};
-use srumma::{Algorithm, GemmSpec, Machine, Matrix, Op, ShmemFlavor, SrummaOptions};
+use srumma::{
+    Algorithm, BlockMask, GemmSpec, Machine, Matrix, Op, ShmemFlavor, SparseMasks, SrummaOptions,
+};
 
 const CASES: u64 = 24;
 
@@ -110,6 +115,81 @@ fn check_case(seed: u64, backend: Backend) {
     );
 }
 
+/// Random logical masks for the grid of `nranks`: mostly mid-density,
+/// with the degenerate ends (density 0 — everything pruned, every rank
+/// exercises the empty-rank fence path — and density 1 — the mask is
+/// all-ones and must change nothing) drawn often enough to hit every
+/// run.
+fn random_masks(rng: &mut Rng, nranks: usize, seed: u64) -> SparseMasks {
+    let grid = default_grid(nranks);
+    let density = |rng: &mut Rng| match rng.below(5) {
+        0 => 0.0,
+        1 => 1.0,
+        _ => 0.2 + 0.15 * rng.below(4) as f64,
+    };
+    SparseMasks::new(
+        BlockMask::random(grid.p, grid.q, density(rng), seed ^ 0xAAAA),
+        BlockMask::random(grid.p, grid.q, density(rng), seed ^ 0xBBBB),
+    )
+}
+
+/// Block-sparse multiply on each backend, checked against the masked
+/// serial reference. The operands carry full random data *everywhere*
+/// — including inside masked blocks — so agreement proves the pruned
+/// schedule never reads a dead block.
+fn check_sparse_case(seed: u64, backend: Backend) {
+    let mut rng = Rng::new(seed);
+    let spec = random_spec(&mut rng);
+    let nranks = *rng.pick(&[1usize, 2, 3, 4, 6, 8]);
+    let a = Matrix::random(spec.m, spec.k, seed ^ 0xA);
+    let b = Matrix::random(spec.k, spec.n, seed ^ 0xB);
+    let masks = random_masks(&mut rng, nranks, seed);
+    let opts = random_srumma(&mut rng);
+
+    // Drivers start C at zero, so beta scales zeros away and the
+    // reference only needs alpha.
+    let mut expect = sparse_serial_reference(&spec, &a, &b, &masks);
+    for i in 0..spec.m {
+        for j in 0..spec.n {
+            expect[(i, j)] *= spec.alpha;
+        }
+    }
+
+    let c = match backend {
+        Backend::Threads => multiply_threads_sparse(nranks, &opts, &spec, &a, &b, &masks).0,
+        Backend::Sim => {
+            multiply_verified_sparse(
+                &Machine::linux_myrinet(),
+                nranks,
+                &opts,
+                &spec,
+                &a,
+                &b,
+                &masks,
+            )
+            .0
+        }
+        Backend::Exec => {
+            let workers = *rng.pick(&[1usize, 2, 3, 4]);
+            multiply_exec_sparse(nranks, workers, &opts, &spec, &a, &b, &masks).0
+        }
+    };
+    let diff = max_abs_diff(&c, &expect);
+    assert!(
+        diff < tolerance(spec.k),
+        "seed {seed:#x}: sparse {} m={} n={} k={} alpha={} beta={} x{nranks} ({backend:?}) \
+         da={:.2} db={:.2}: |diff|={diff:e}",
+        spec.case_label(),
+        spec.m,
+        spec.n,
+        spec.k,
+        spec.alpha,
+        spec.beta,
+        masks.a.as_ref().map_or(1.0, |m| m.density()),
+        masks.b.as_ref().map_or(1.0, |m| m.density()),
+    );
+}
+
 #[test]
 fn threads_match_serial_reference_on_random_problems() {
     for case in 0..CASES {
@@ -129,4 +209,135 @@ fn executor_matches_serial_reference_on_random_problems() {
     for case in 0..CASES {
         check_case(0xE2E_0EC5 + case, Backend::Exec);
     }
+}
+
+#[test]
+fn sparse_threads_match_masked_serial_reference() {
+    for case in 0..CASES {
+        check_sparse_case(0x5BA_57EAD + case, Backend::Threads);
+    }
+}
+
+#[test]
+fn sparse_simulator_matches_masked_serial_reference() {
+    for case in 0..CASES {
+        check_sparse_case(0x5BA_50512 + case, Backend::Sim);
+    }
+}
+
+#[test]
+fn sparse_executor_matches_masked_serial_reference() {
+    for case in 0..CASES {
+        check_sparse_case(0x5BA_50EC5 + case, Backend::Exec);
+    }
+}
+
+/// Full-density masks are all-ones: the sparse path prunes nothing and
+/// must reproduce the dense driver **bitwise** on every backend (each
+/// rank's accumulation order is deterministic, so equality is exact,
+/// not within tolerance).
+#[test]
+fn density_one_is_bitwise_identical_to_dense() {
+    for &(seed, nranks) in &[(11u64, 3usize), (12, 4), (13, 8)] {
+        let mut rng = Rng::new(seed);
+        let spec = random_spec(&mut rng);
+        let a = Matrix::random(spec.m, spec.k, seed ^ 0xA);
+        let b = Matrix::random(spec.k, spec.n, seed ^ 0xB);
+        let grid = default_grid(nranks);
+        let masks = SparseMasks::new(
+            BlockMask::full(grid.p, grid.q),
+            BlockMask::full(grid.p, grid.q),
+        );
+        let opts = random_srumma(&mut rng);
+        let alg = Algorithm::Srumma(opts);
+
+        let (dense_t, _) = multiply_threads(nranks, &alg, &spec, &a, &b);
+        let (sparse_t, _) = multiply_threads_sparse(nranks, &opts, &spec, &a, &b, &masks);
+        assert_eq!(
+            max_abs_diff(&dense_t, &sparse_t),
+            0.0,
+            "threads seed {seed}"
+        );
+
+        let machine = Machine::linux_myrinet();
+        let (dense_s, _) = multiply_verified(&machine, nranks, &alg, &spec, &a, &b);
+        let (sparse_s, _) =
+            multiply_verified_sparse(&machine, nranks, &opts, &spec, &a, &b, &masks);
+        assert_eq!(max_abs_diff(&dense_s, &sparse_s), 0.0, "sim seed {seed}");
+
+        let (dense_e, dres) = multiply_exec(nranks, 2, &alg, &spec, &a, &b);
+        let (sparse_e, sres) = multiply_exec_sparse(nranks, 2, &opts, &spec, &a, &b, &masks);
+        assert_eq!(max_abs_diff(&dense_e, &sparse_e), 0.0, "exec seed {seed}");
+        for (rank, (d, s)) in dres.outputs.iter().zip(&sres.outputs).enumerate() {
+            let d = d.as_ref().unwrap();
+            assert_eq!(
+                s.tasks, d.tasks,
+                "rank {rank}: full mask changed the schedule"
+            );
+            assert_eq!(s.masked_tasks, 0, "rank {rank}: full mask pruned a task");
+        }
+    }
+}
+
+/// A single surviving block in each operand: only the tasks whose
+/// k-segments join them may run; everything else — including whole
+/// ranks — is pruned, and those empty ranks must still clear their C
+/// tiles and reach every fence.
+#[test]
+fn one_surviving_block_per_operand() {
+    for ta in [Op::N, Op::T] {
+        for tb in [Op::N, Op::T] {
+            let spec = GemmSpec::new(ta, tb, 19, 17, 23).with_scalars(1.5, 0.0);
+            let nranks = 6;
+            let grid = default_grid(nranks);
+            let a = Matrix::random(spec.m, spec.k, 0xC0);
+            let b = Matrix::random(spec.k, spec.n, 0xC1);
+            let masks = SparseMasks::new(
+                BlockMask::from_fn(grid.p, grid.q, |i, la| (i, la) == (1, 0)),
+                BlockMask::from_fn(grid.p, grid.q, |lb, j| (lb, j) == (0, 1)),
+            );
+            let mut expect = sparse_serial_reference(&spec, &a, &b, &masks);
+            for i in 0..spec.m {
+                for j in 0..spec.n {
+                    expect[(i, j)] *= spec.alpha;
+                }
+            }
+            let opts = SrummaOptions::default();
+            let (c, res) = multiply_exec_sparse(nranks, 2, &opts, &spec, &a, &b, &masks);
+            let diff = max_abs_diff(&c, &expect);
+            assert!(diff < tolerance(spec.k), "{ta:?}/{tb:?}: |diff|={diff:e}");
+            let survived: usize = res.outputs.iter().map(|r| r.tasks).sum();
+            let masked: usize = res.outputs.iter().map(|r| r.masked_tasks).sum();
+            assert!(survived <= nranks, "{ta:?}/{tb:?}: too many tasks survived");
+            assert!(masked > 0, "{ta:?}/{tb:?}: nothing was pruned");
+        }
+    }
+}
+
+/// The oversubscription stress from the dense suite, sparse: 128 ranks
+/// multiplexed onto 2 workers with mid-density masks. Many ranks have
+/// every task pruned and exist only to β-scale C and arrive at the
+/// barriers — a lost wakeup or skipped fence deadlocks here (ci.sh
+/// bounds that with `timeout`).
+#[test]
+fn oversubscribed_sparse_executor_128_ranks_2_workers() {
+    let (nranks, workers) = (128, 2);
+    let spec = GemmSpec::square(64);
+    let grid = default_grid(nranks);
+    let a = Matrix::random(spec.m, spec.k, 0xD0);
+    let b = Matrix::random(spec.k, spec.n, 0xD1);
+    let masks = SparseMasks::new(
+        BlockMask::random(grid.p, grid.q, 0.3, 0xD2),
+        BlockMask::random(grid.p, grid.q, 0.3, 0xD3),
+    );
+    let expect = sparse_serial_reference(&spec, &a, &b, &masks);
+    let opts = SrummaOptions::default();
+    let (c, res) = multiply_exec_sparse(nranks, workers, &opts, &spec, &a, &b, &masks);
+    let diff = max_abs_diff(&c, &expect);
+    assert!(diff < tolerance(spec.k), "|diff|={diff:e}");
+    let masked: usize = res.outputs.iter().map(|r| r.masked_tasks).sum();
+    assert!(
+        masked > 0,
+        "density 0.3 masks pruned nothing on a 128-rank grid"
+    );
 }
