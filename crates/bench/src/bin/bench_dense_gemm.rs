@@ -1,7 +1,9 @@
-//! Local dgemm kernel throughput: `naive` vs the `scalar` micro-kernel
-//! vs the dispatched SIMD micro-kernel, at the block sizes SRUMMA's
-//! task loop actually feeds the serial kernel (a P-rank run of the
-//! paper's N=1000..16000 problems hands out ~64–500-wide blocks).
+//! Local dgemm kernel throughput: the full kernel ladder — `naive`,
+//! the `scalar` micro-kernel, every available SIMD micro-kernel
+//! (AVX2 4×12, AVX-512 8×8, NEON 4×8), and the Strassen-routed best —
+//! at the block sizes SRUMMA's task loop actually feeds the serial
+//! kernel (a P-rank run of the paper's N=1000..16000 problems hands out
+//! ~64–500-wide blocks).
 //!
 //! This is the compute half of the paper's story made measurable: the
 //! RMA pipeline only pays off when it overlaps a *fast* local multiply,
@@ -11,14 +13,34 @@
 //! `--quick` and diffs it against the checked-in baseline as a hard
 //! perf gate (`SRUMMA_PERF_GATE=warn` downgrades it).
 //!
+//! Reported per size `n`:
+//!
+//! * `gflops_naive_n` (n ≤ 256), `gflops_scalar_n` — the two bottom
+//!   ladder rungs;
+//! * `gflops_<kernel>_n` for each available SIMD kernel — the raw
+//!   per-kernel rates `calibrate --kernels` also probes;
+//! * `gflops_simd_n` — the best SIMD rate (`max` over available SIMD
+//!   kernels: the rung a host-tuned dispatch would deliver), plus the
+//!   compatible `speedup_simd_over_scalar_n` gate metrics;
+//! * `gflops_strassen_n` — the Strassen-routed rate at a one-level
+//!   cutoff (`n/2`) on the best kernel, and `gflops_best_n` — the top
+//!   rung: best of SIMD and Strassen, i.e. what a calibrated install
+//!   (which enables Strassen only where it wins) would deliver.
+//!
+//! The checked-in ladder `naive → scalar → avx2 → simd → best` is
+//! monotone by construction (each rung widens the choice set); the raw
+//! per-kernel and raw-Strassen numbers sit alongside so regressions in
+//! any single kernel stay visible to `bench_diff`.
+//!
 //! Usage: `cargo run --release -p srumma-bench --bin bench_dense_gemm
 //! [-- --quick] [-- --out PATH]`
 
 use srumma_bench::{fmt, print_table, write_bench_json};
+use srumma_dense::blocked::STRASSEN_MIN_CUTOFF;
 use srumma_dense::gemm::gemm_flops;
 use srumma_dense::kernel::Microkernel;
 use srumma_dense::naive::naive_gemm;
-use srumma_dense::{blocked::blocked_gemm_ws, GemmWorkspace, Matrix, Op};
+use srumma_dense::{dgemm_ws, GemmWorkspace, Matrix, Op};
 use srumma_trace::bench_report_json;
 use srumma_trace::json::JsonObject;
 use std::time::Instant;
@@ -78,20 +100,17 @@ fn main() {
         &[64, 128, 256, 500]
     };
 
-    let simd = {
-        #[cfg(target_arch = "x86_64")]
-        {
-            Microkernel::Avx2.available().then_some(Microkernel::Avx2)
-        }
-        #[cfg(not(target_arch = "x86_64"))]
-        {
-            None::<Microkernel>
-        }
-    };
+    let simd_kernels: Vec<Microkernel> = Microkernel::all()
+        .iter()
+        .copied()
+        .filter(|k| *k != Microkernel::Scalar && k.available())
+        .collect();
 
     let mut metrics = JsonObject::new();
     metrics.str("kernel_scalar", Microkernel::Scalar.name());
-    match simd {
+    match simd_kernels.last() {
+        // `all()` is ordered scalar → widest, so the last available
+        // SIMD kernel is the one `auto` dispatch would favor.
         Some(k) => metrics.str("kernel_simd", k.name()),
         None => metrics.null("kernel_simd"),
     }
@@ -115,25 +134,10 @@ fn main() {
             None
         };
 
-        let mut ws_scalar = GemmWorkspace::with_kernel(Microkernel::Scalar);
-        let g_scalar = measure(n, cfg.quick, || {
-            blocked_gemm_ws(
-                Op::N,
-                Op::N,
-                1.0,
-                a.as_ref(),
-                b.as_ref(),
-                0.0,
-                c.as_mut(),
-                &mut ws_scalar,
-            )
-        });
-        metrics.num(&format!("gflops_scalar_{n}"), g_scalar);
-
-        let g_simd = simd.map(|k| {
-            let mut ws = GemmWorkspace::with_kernel(k);
-            let g = measure(n, cfg.quick, || {
-                blocked_gemm_ws(
+        let mut bench_kernel = |k: Microkernel, strassen: Option<usize>| {
+            let mut ws = GemmWorkspace::with_kernel(k).with_strassen(strassen);
+            measure(n, cfg.quick, || {
+                dgemm_ws(
                     Op::N,
                     Op::N,
                     1.0,
@@ -143,19 +147,65 @@ fn main() {
                     c.as_mut(),
                     &mut ws,
                 )
-            });
+            })
+        };
+
+        let g_scalar = bench_kernel(Microkernel::Scalar, None);
+        metrics.num(&format!("gflops_scalar_{n}"), g_scalar);
+
+        // Raw per-kernel rates, and the best-SIMD rung.
+        let mut g_by_kernel: Vec<(Microkernel, f64)> = Vec::new();
+        for &k in &simd_kernels {
+            let g = bench_kernel(k, None);
+            metrics.num(&format!("gflops_{}_{n}", k.env_name()), g);
+            g_by_kernel.push((k, g));
+        }
+        let g_simd = g_by_kernel.iter().map(|&(_, g)| g).fold(f64::NAN, f64::max);
+        let g_simd = if g_simd.is_nan() { None } else { Some(g_simd) };
+        if let Some(g) = g_simd {
             metrics.num(&format!("gflops_simd_{n}"), g);
             let speedup = g / g_scalar;
             metrics.num(&format!("speedup_simd_over_scalar_{n}"), speedup);
             worst_speedup = worst_speedup.min(speedup);
-            g
-        });
+        }
 
+        // Strassen rung: one recursion level (cutoff n/2) on the best
+        // kernel for this size. `gflops_best` is the calibrated top
+        // rung — Strassen only where it wins, so monotone vs `simd`.
+        let base_best = g_simd.unwrap_or(g_scalar);
+        let best_kernel = g_by_kernel
+            .iter()
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .map(|&(k, _)| k)
+            .unwrap_or(Microkernel::Scalar);
+        let g_strassen = if n / 2 >= STRASSEN_MIN_CUTOFF {
+            let g = bench_kernel(best_kernel, Some(n / 2));
+            metrics.num(&format!("gflops_strassen_{n}"), g);
+            Some(g)
+        } else {
+            None
+        };
+        let g_best = g_strassen.map_or(base_best, |g| g.max(base_best));
+        metrics.num(&format!("gflops_best_{n}"), g_best);
+
+        // Name-based lookup so the table compiles on every arch (the
+        // off-target kernel enum variants do not exist there).
+        let per_kernel = |name: &str| {
+            g_by_kernel
+                .iter()
+                .find(|&&(kk, _)| kk.env_name() == name)
+                .map(|&(_, g)| fmt(g))
+                .unwrap_or_else(|| "-".to_string())
+        };
         rows.push(vec![
             n.to_string(),
             g_naive.map(fmt).unwrap_or_else(|| "-".to_string()),
             fmt(g_scalar),
-            g_simd.map(fmt).unwrap_or_else(|| "-".to_string()),
+            per_kernel("avx2"),
+            per_kernel("avx512"),
+            per_kernel("neon"),
+            g_strassen.map(fmt).unwrap_or_else(|| "-".to_string()),
+            fmt(g_best),
             g_simd
                 .map(|g| format!("{:.2}x", g / g_scalar))
                 .unwrap_or_else(|| "-".to_string()),
@@ -166,8 +216,18 @@ fn main() {
     }
 
     print_table(
-        "dense gemm kernel throughput (GFLOP/s, best of samples)",
-        &["n", "naive", "scalar", "simd", "simd/scalar"],
+        "dense gemm kernel ladder (GFLOP/s, best of samples)",
+        &[
+            "n",
+            "naive",
+            "scalar",
+            "avx2",
+            "avx512",
+            "neon",
+            "strassen",
+            "best",
+            "simd/scalar",
+        ],
         &rows,
     );
 

@@ -1,15 +1,20 @@
 //! Calibration probe: check the machine profiles against the paper's
 //! anchor points (DESIGN.md §6), sweep the host's gemm cache-block
-//! sizes (`--blocks`), probe the work-stealing executor's worker count
+//! sizes (`--blocks`), compare the micro-kernel flavors and pack
+//! layouts (`--kernels`), find the Strassen recursion cutoff
+//! (`--strassen`), probe the work-stealing executor's worker count
 //! (`--workers`), and find the batched-driver amortization crossover
-//! (`--batch`). Not a figure — a development tool.
+//! (`--batch`). `--list-kernels` prints the kernels available on this
+//! host one per line (the `scripts/ci.sh` flavor loop consumes it).
+//! Not a figure — a development tool.
 
 use srumma_bench::{fmt, pdgemm_best, srumma_gflops, srumma_stats};
 use srumma_core::batch::{multiply_batch_exec, BatchEntry, BatchSpec};
 use srumma_core::driver::multiply_exec;
 use srumma_core::{Algorithm, GemmSpec};
-use srumma_dense::blocked::{blocked_gemm_ws, BlockSizes};
-use srumma_dense::{active_kernel, GemmWorkspace, Matrix, Op};
+use srumma_dense::blocked::{blocked_gemm_ws, BlockSizes, STRASSEN_MIN_CUTOFF};
+use srumma_dense::kernel::host_kernel_summary;
+use srumma_dense::{active_kernel, dgemm_ws, GemmWorkspace, Matrix, Microkernel, Op, PackLayout};
 use srumma_model::Machine;
 use std::time::Instant;
 
@@ -70,6 +75,136 @@ fn probe_block_sizes() {
         BlockSizes::default().kc,
         BlockSizes::default().nc,
     );
+}
+
+/// Probe the micro-kernel flavors on this host: GFLOP/s of every
+/// available kernel at SRUMMA task-block sizes, under both pack
+/// layouts, so the `SRUMMA_KERNEL` / `SRUMMA_LAYOUT` defaults for a
+/// deployment come from evidence instead of ISA folklore (a one-FMA-
+/// port AVX-512 host can genuinely prefer the AVX2 kernel).
+fn probe_kernels() {
+    println!(
+        "micro-kernel probe on this host ({})",
+        host_kernel_summary()
+    );
+    for &n in &[128usize, 256, 500] {
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        let mut c = Matrix::zeros(n, n);
+        let flops = 2.0 * (n as f64).powi(3);
+        println!("n={n}:");
+        let mut best = (0.0f64, "", PackLayout::Linear);
+        for &kernel in Microkernel::all() {
+            if !kernel.available() {
+                println!("  {:<8} (unavailable on this host)", kernel.name());
+                continue;
+            }
+            for layout in [PackLayout::Linear, PackLayout::ZOrder] {
+                let mut ws = GemmWorkspace::with_kernel(kernel).with_layout(layout);
+                let mut run = |c: &mut Matrix| {
+                    blocked_gemm_ws(
+                        Op::N,
+                        Op::N,
+                        1.0,
+                        a.as_ref(),
+                        b.as_ref(),
+                        0.0,
+                        c.as_mut(),
+                        &mut ws,
+                    )
+                };
+                run(&mut c); // warm-up sizes the workspace
+                let mut min = f64::INFINITY;
+                for _ in 0..3 {
+                    let t = Instant::now();
+                    run(&mut c);
+                    min = min.min(t.elapsed().as_secs_f64());
+                }
+                let gf = flops / min / 1e9;
+                println!(
+                    "  {:<8} layout={:<7} {:>7} GFLOP/s",
+                    kernel.name(),
+                    layout.name(),
+                    fmt(gf)
+                );
+                if gf > best.0 {
+                    best = (gf, kernel.name(), layout);
+                }
+            }
+        }
+        println!(
+            "  best: {} / {} at {} GFLOP/s",
+            best.1,
+            best.2.name(),
+            fmt(best.0)
+        );
+    }
+}
+
+/// Probe the Strassen cutoff on this host: time a large square multiply
+/// blocked-only and Strassen-routed at a range of cutoffs, and report
+/// the break-even point — the value a deployment should feed
+/// `SRUMMA_STRASSEN` (or leave it off if no cutoff wins).
+fn probe_strassen() {
+    let n = 1024;
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let mut c = Matrix::zeros(n, n);
+    let flops = 2.0 * (n as f64).powi(3);
+    let kernel = active_kernel();
+    println!("strassen cutoff probe (kernel {}, n={n}):", kernel.name());
+
+    let mut time_with = |cutoff: Option<usize>| {
+        let mut ws = GemmWorkspace::with_kernel(kernel).with_strassen(cutoff);
+        let mut run = |c: &mut Matrix| {
+            dgemm_ws(
+                Op::N,
+                Op::N,
+                1.0,
+                a.as_ref(),
+                b.as_ref(),
+                0.0,
+                c.as_mut(),
+                &mut ws,
+            )
+        };
+        run(&mut c); // warm-up sizes workspace and arena
+        let mut min = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            run(&mut c);
+            min = min.min(t.elapsed().as_secs_f64());
+        }
+        min
+    };
+
+    let base = time_with(None);
+    println!(
+        "  blocked only          {:>7} GFLOP/s",
+        fmt(flops / base / 1e9)
+    );
+    let mut best: Option<(usize, f64)> = None;
+    let mut cutoff = n / 2;
+    while cutoff >= STRASSEN_MIN_CUTOFF.max(64) {
+        let t = time_with(Some(cutoff));
+        let levels = srumma_dense::strassen::strassen_levels(n, n, n, cutoff);
+        println!(
+            "  cutoff={cutoff:<5} levels={levels} {:>7} GFLOP/s ({:+.1}% vs blocked)",
+            fmt(flops / t / 1e9),
+            (base / t - 1.0) * 100.0
+        );
+        if t < base && best.is_none_or(|(_, bt)| t < bt) {
+            best = Some((cutoff, t));
+        }
+        cutoff /= 2;
+    }
+    match best {
+        Some((cutoff, t)) => println!(
+            "break-even: SRUMMA_STRASSEN={cutoff} wins ({:.1}% over blocked) on this host",
+            (base / t - 1.0) * 100.0
+        ),
+        None => println!("break-even: none — leave SRUMMA_STRASSEN off on this host"),
+    }
 }
 
 /// Probe executor worker counts on this host: run an oversubscribed
@@ -187,6 +322,24 @@ fn probe_batch() {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--list-kernels") {
+        // Machine-readable: one available kernel env-name per line
+        // (consumed by the scripts/ci.sh per-flavor test loop).
+        for kernel in Microkernel::all() {
+            if kernel.available() {
+                println!("{}", kernel.env_name());
+            }
+        }
+        return;
+    }
+    if std::env::args().any(|a| a == "--kernels") {
+        probe_kernels();
+        return;
+    }
+    if std::env::args().any(|a| a == "--strassen") {
+        probe_strassen();
+        return;
+    }
     if std::env::args().any(|a| a == "--blocks") {
         probe_block_sizes();
         return;

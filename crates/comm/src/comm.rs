@@ -17,7 +17,7 @@
 //!   compute cost comes from the machine model, not the host.
 
 use crate::dist::DistMatrix;
-use srumma_dense::{MatMut, MatRef, Op};
+use srumma_dense::{GemmConfig, MatMut, MatRef, Op};
 use srumma_model::Topology;
 use srumma_trace::Recorder;
 
@@ -118,6 +118,15 @@ pub trait Comm {
     fn ws_grow_count(&self) -> u64 {
         0
     }
+
+    /// Reconfigure this rank's serial-kernel workspace (micro-kernel,
+    /// cache blocks, pack layout, Strassen cutoff). Idempotent: a
+    /// config equal to the one already in effect must keep the existing
+    /// workspace (and its buffers) untouched, so repeated machine
+    /// setups preserve the grow-at-most-once guarantee tracked by
+    /// [`Comm::ws_grow_count`]. Backends without a real workspace
+    /// (modeled compute) may ignore it.
+    fn configure_gemm(&mut self, _cfg: &GemmConfig) {}
 
     /// Nonblocking one-sided fetch of `owner`'s block of `mat` into
     /// `buf` (cleared/filled as appropriate). The *data* lands

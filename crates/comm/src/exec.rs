@@ -36,7 +36,7 @@
 use crate::comm::{Comm, GetHandle};
 use crate::deque::WorkDeque;
 use crate::dist::DistMatrix;
-use srumma_dense::{dgemm_ws, GemmWorkspace, MatMut, MatRef, Op};
+use srumma_dense::{dgemm_ws, GemmConfig, GemmWorkspace, MatMut, MatRef, Op};
 use srumma_model::Topology;
 use srumma_trace::{Counters, ExecStats, Recorder, RunStats, TraceEvent, TraceKind};
 use std::any::Any;
@@ -590,6 +590,15 @@ impl Comm for ExecComm {
 
     fn ws_grow_count(&self) -> u64 {
         self.ws.grow_count()
+    }
+
+    fn configure_gemm(&mut self, cfg: &GemmConfig) {
+        // Idempotent: an unchanged effective config keeps the existing
+        // workspace so pooled workers never re-grow their buffers.
+        let resolved = GemmWorkspace::configured(*cfg);
+        if resolved.config() != self.ws.config() {
+            self.ws = resolved;
+        }
     }
 
     fn barrier(&mut self) {

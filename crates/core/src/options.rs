@@ -1,6 +1,6 @@
 //! Operation descriptors and algorithm options.
 
-use srumma_dense::Op;
+use srumma_dense::{GemmConfig, Op};
 
 /// One parallel matrix-multiplication problem:
 /// `C ← α·op(A)·op(B) + β·C` with `op(A)` of shape `m × k` and `op(B)`
@@ -108,6 +108,13 @@ pub struct SrummaOptions {
     pub prefetch_depth: usize,
     /// Shared-memory flavor (§3.2).
     pub shmem: ShmemFlavor,
+    /// Serial-kernel configuration override (micro-kernel, cache
+    /// blocks, pack layout, Strassen cutoff). `None` keeps each
+    /// backend's default, i.e. the dispatched kernel plus the
+    /// `SRUMMA_KERNEL` / `SRUMMA_LAYOUT` / `SRUMMA_STRASSEN`
+    /// environment toggles; `Some` is pushed to every rank workspace
+    /// via `Comm::configure_gemm` at machine setup.
+    pub gemm: Option<GemmConfig>,
 }
 
 impl Default for SrummaOptions {
@@ -118,6 +125,7 @@ impl Default for SrummaOptions {
             double_buffer: true,
             prefetch_depth: 1,
             shmem: ShmemFlavor::Auto,
+            gemm: None,
         }
     }
 }
@@ -131,7 +139,14 @@ impl SrummaOptions {
             double_buffer: false,
             prefetch_depth: 0,
             shmem: ShmemFlavor::ForceCopy,
+            gemm: None,
         }
+    }
+
+    /// Override the serial-kernel configuration on every rank.
+    pub fn with_gemm(mut self, cfg: GemmConfig) -> Self {
+        self.gemm = Some(cfg);
+        self
     }
 
     /// The pipeline depth actually used: 0 when double buffering is

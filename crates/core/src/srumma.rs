@@ -245,6 +245,12 @@ impl<'a> SrummaMachine<'a> {
             mut wa,
             mut wb,
         } = scratch;
+        // Push any serial-kernel override to this rank's workspace
+        // before the first gemm; configure_gemm is idempotent, so batch
+        // continuations re-applying the same config never re-grow.
+        if let Some(cfg) = opts.gemm {
+            comm.configure_gemm(&cfg);
+        }
         let me = comm.rank();
         let grid = c.grid();
         let (gi, gj) = grid.coords(me);

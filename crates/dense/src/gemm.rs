@@ -66,6 +66,12 @@ pub fn dgemm(
 /// [`dgemm`] with a caller-owned [`GemmWorkspace`], for hot paths that
 /// issue many gemms (the comm backends, the SRUMMA task loop): packing
 /// buffers are allocated once per workspace, not once per call.
+///
+/// When the workspace carries a Strassen cutoff
+/// ([`GemmWorkspace::with_strassen`] / `SRUMMA_STRASSEN`), the call is
+/// routed through [`crate::strassen::strassen_gemm_ws`]; its leaves run
+/// on the blocked kernel, so every flop still executes in the packed
+/// micro-kernels. Otherwise this is the blocked path exactly.
 #[allow(clippy::too_many_arguments)]
 pub fn dgemm_ws(
     transa: Op,
@@ -77,7 +83,11 @@ pub fn dgemm_ws(
     c: MatMut<'_>,
     ws: &mut GemmWorkspace,
 ) {
-    blocked_gemm_ws(transa, transb, alpha, a, b, beta, c, ws);
+    if ws.strassen_cutoff().is_some() {
+        crate::strassen::strassen_gemm_ws(transa, transb, alpha, a, b, beta, c, ws);
+    } else {
+        blocked_gemm_ws(transa, transb, alpha, a, b, beta, c, ws);
+    }
 }
 
 /// Convenience wrapper: allocate and return `op(A)·op(B)`.

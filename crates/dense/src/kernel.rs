@@ -1,38 +1,63 @@
 //! Register-blocked micro-kernels and their runtime dispatch.
 //!
-//! Two micro-kernels compute an `MR × nr` tile of the product from
+//! Four micro-kernels compute an `mr × nr` tile of the product from
 //! packed operand slivers (see [`crate::pack`]):
 //!
-//! * **scalar** (`MR = 4`, `NR = 8`) — portable Rust; the accumulator
+//! * **scalar** (`mr = 4`, `nr = 8`) — portable Rust; the accumulator
 //!   lives in a local array the compiler keeps in vector registers, and
 //!   LLVM autovectorizes the 32 multiply-adds per `k` step to whatever
 //!   the build target allows (SSE2 on a default `x86_64` build). This is
 //!   the fallback on every architecture and the differential-test
-//!   oracle for the SIMD path.
-//! * **AVX2+FMA** (`MR = 4`, `NR = 12`, [`crate::simd`]) — explicit
+//!   oracle for the SIMD paths.
+//! * **AVX2+FMA** (`mr = 4`, `nr = 12`, [`crate::simd`]) — explicit
 //!   `std::arch` intrinsics behind *runtime* feature detection: a 4×12
 //!   register tiling holding twelve 256-bit accumulators (plus three
 //!   B-vector and one broadcast register — exactly the sixteen `ymm`
 //!   registers AVX2 offers), three loads + four broadcasts + twelve
 //!   FMAs per `k` step.
+//! * **AVX-512F** (`mr = 8`, `nr = 8`, [`crate::simd`]) — eight 512-bit
+//!   accumulators (one zmm per row of the tile), one B load + eight
+//!   broadcasts + eight FMAs per `k` step. The taller `mr = 8` tile
+//!   doubles the `k`-reuse of each B load; packing adapts because
+//!   `pack_a`/`pack_b` take `mr`/`nr` as parameters.
+//! * **NEON** (`mr = 4`, `nr = 8`, [`crate::simd_neon`], `aarch64`
+//!   only) — sixteen 128-bit accumulators (4 rows × 4 vectors of two
+//!   `f64`), four B loads + four broadcasts + sixteen FMAs per `k`
+//!   step, using `vfmaq_f64`.
 //!
 //! Dispatch is resolved **once per process** ([`active_kernel`], cached
 //! in a `OnceLock`) — never per call — and can be forced with the
-//! `SRUMMA_KERNEL` environment variable (`scalar`, `avx2`, `auto`),
-//! which is how CI keeps the portable path green on AVX2 hosts.
+//! `SRUMMA_KERNEL` environment variable (`scalar`, `avx2`, `avx512`,
+//! `neon`, `auto`), which is how CI runs the whole suite once per
+//! kernel flavor. Parsing is strict: an unrecognized value is a hard
+//! error listing the valid names and their availability on this host
+//! (a typo silently falling back to `auto` would un-test the flavor CI
+//! thinks it is testing). A *recognized* kernel that this host cannot
+//! run (e.g. `neon` on x86) logs the reason and falls back to
+//! detection — never a panic — so one CI script can loop over every
+//! flavor name on any runner.
 
 use std::sync::OnceLock;
 
-/// Micro-tile rows (both kernels).
+/// Micro-tile rows of the scalar, AVX2 and NEON kernels.
 pub const MR: usize = 4;
+/// Micro-tile rows of the AVX-512 kernel.
+pub const MR_AVX512: usize = 8;
+/// Largest `mr` any kernel uses.
+pub const MR_MAX: usize = 8;
 /// Micro-tile columns of the scalar kernel.
 pub const NR: usize = 8;
 /// Micro-tile columns of the AVX2 kernel.
 pub const NR_AVX2: usize = 12;
-/// Largest `nr` any kernel uses — sizes the stack accumulator.
+/// Micro-tile columns of the AVX-512 kernel.
+pub const NR_AVX512: usize = 8;
+/// Micro-tile columns of the NEON kernel.
+pub const NR_NEON: usize = 8;
+/// Largest `nr` any kernel uses.
 pub const NR_MAX: usize = 12;
-/// Accumulator length covering every kernel's `MR × nr` tile.
-pub const ACC_LEN: usize = MR * NR_MAX;
+/// Accumulator length covering every kernel's `mr × nr` tile
+/// (the largest tile is the AVX-512 kernel's 8×8 = 64).
+pub const ACC_LEN: usize = 64;
 
 /// A selectable micro-kernel implementation.
 ///
@@ -50,13 +75,47 @@ pub enum Microkernel {
     /// [`crate::blocked::GemmWorkspace`] enforce this.
     #[cfg(target_arch = "x86_64")]
     Avx2,
+    /// AVX-512F intrinsics kernel (`8 × 8`). Same availability
+    /// contract as [`Microkernel::Avx2`].
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    /// NEON intrinsics kernel (`4 × 8`). NEON is baseline on
+    /// `aarch64`, so this is always available there.
+    #[cfg(target_arch = "aarch64")]
+    Neon,
 }
 
 impl Microkernel {
+    /// Every kernel variant this *build* knows about, portable first.
+    /// Callers must still check [`Microkernel::available`] before
+    /// constructing a workspace around one.
+    pub fn all() -> &'static [Microkernel] {
+        #[cfg(target_arch = "x86_64")]
+        {
+            &[Microkernel::Scalar, Microkernel::Avx2, Microkernel::Avx512]
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            &[Microkernel::Scalar, Microkernel::Neon]
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            &[Microkernel::Scalar]
+        }
+    }
+
     /// Register-tile rows.
     #[inline]
     pub fn mr(self) -> usize {
-        MR
+        match self {
+            Microkernel::Scalar => MR,
+            #[cfg(target_arch = "x86_64")]
+            Microkernel::Avx2 => MR,
+            #[cfg(target_arch = "x86_64")]
+            Microkernel::Avx512 => MR_AVX512,
+            #[cfg(target_arch = "aarch64")]
+            Microkernel::Neon => MR,
+        }
     }
 
     /// Register-tile columns (the packed B sliver width).
@@ -66,6 +125,10 @@ impl Microkernel {
             Microkernel::Scalar => NR,
             #[cfg(target_arch = "x86_64")]
             Microkernel::Avx2 => NR_AVX2,
+            #[cfg(target_arch = "x86_64")]
+            Microkernel::Avx512 => NR_AVX512,
+            #[cfg(target_arch = "aarch64")]
+            Microkernel::Neon => NR_NEON,
         }
     }
 
@@ -75,6 +138,23 @@ impl Microkernel {
             Microkernel::Scalar => "scalar-4x8",
             #[cfg(target_arch = "x86_64")]
             Microkernel::Avx2 => "avx2-4x12",
+            #[cfg(target_arch = "x86_64")]
+            Microkernel::Avx512 => "avx512-8x8",
+            #[cfg(target_arch = "aarch64")]
+            Microkernel::Neon => "neon-4x8",
+        }
+    }
+
+    /// The `SRUMMA_KERNEL` value that forces this kernel.
+    pub fn env_name(self) -> &'static str {
+        match self {
+            Microkernel::Scalar => "scalar",
+            #[cfg(target_arch = "x86_64")]
+            Microkernel::Avx2 => "avx2",
+            #[cfg(target_arch = "x86_64")]
+            Microkernel::Avx512 => "avx512",
+            #[cfg(target_arch = "aarch64")]
+            Microkernel::Neon => "neon",
         }
     }
 
@@ -87,6 +167,10 @@ impl Microkernel {
                 std::arch::is_x86_feature_detected!("avx2")
                     && std::arch::is_x86_feature_detected!("fma")
             }
+            #[cfg(target_arch = "x86_64")]
+            Microkernel::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(target_arch = "aarch64")]
+            Microkernel::Neon => std::arch::is_aarch64_feature_detected!("neon"),
         }
     }
 
@@ -109,43 +193,200 @@ impl Microkernel {
                 // variant docs); sliver/acc bounds are checked inside.
                 unsafe { crate::simd::microkernel_avx2(kc, a_sliver, b_sliver, acc) }
             }
+            #[cfg(target_arch = "x86_64")]
+            Microkernel::Avx512 => {
+                debug_assert!(self.available(), "Avx512 kernel on a non-AVX512F host");
+                // SAFETY: same contract — constructed only after
+                // runtime detection confirmed avx512f.
+                unsafe { crate::simd::microkernel_avx512(kc, a_sliver, b_sliver, acc) }
+            }
+            #[cfg(target_arch = "aarch64")]
+            Microkernel::Neon => {
+                debug_assert!(self.available(), "Neon kernel without NEON support");
+                // SAFETY: NEON is baseline on aarch64 and detection
+                // confirmed it at construction time.
+                unsafe { crate::simd_neon::microkernel_neon(kc, a_sliver, b_sliver, acc) }
+            }
+        }
+    }
+}
+
+/// A parsed `SRUMMA_KERNEL` request. Parsing is architecture-neutral —
+/// `neon` parses fine on x86 — so one CI loop can iterate every flavor
+/// name on any runner; resolution against the host happens in
+/// [`detect_kernel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelRequest {
+    /// Detect the best available kernel (`auto`, or unset).
+    Auto,
+    /// `scalar` / `portable`.
+    Scalar,
+    /// `avx2`.
+    Avx2,
+    /// `avx512`.
+    Avx512,
+    /// `neon`.
+    Neon,
+    /// `simd`: the best non-scalar kernel, warn + scalar if none.
+    BestSimd,
+}
+
+/// One line per valid kernel name with its availability on this host,
+/// used by the strict-parse error and by `calibrate --kernels`.
+pub fn host_kernel_summary() -> String {
+    let mut lines = Vec::new();
+    for k in Microkernel::all() {
+        lines.push(format!(
+            "{} ({}): {}",
+            k.env_name(),
+            k.name(),
+            if k.available() {
+                "available"
+            } else {
+                "unavailable on this host"
+            }
+        ));
+    }
+    #[cfg(not(target_arch = "aarch64"))]
+    lines.push("neon: not built for this architecture".to_string());
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        lines.push("avx2: not built for this architecture".to_string());
+        lines.push("avx512: not built for this architecture".to_string());
+    }
+    lines.join("\n  ")
+}
+
+/// Strictly parse a `SRUMMA_KERNEL` value. Unrecognized values are an
+/// error (the caller hard-fails) so a typo cannot silently degrade to
+/// auto-detection; the error lists every valid name and whether it can
+/// run on this host.
+pub fn parse_kernel_request(raw: &str) -> Result<KernelRequest, String> {
+    match raw {
+        "auto" => Ok(KernelRequest::Auto),
+        "scalar" | "portable" => Ok(KernelRequest::Scalar),
+        "avx2" => Ok(KernelRequest::Avx2),
+        "avx512" => Ok(KernelRequest::Avx512),
+        "neon" => Ok(KernelRequest::Neon),
+        "simd" => Ok(KernelRequest::BestSimd),
+        other => Err(format!(
+            "invalid SRUMMA_KERNEL={other:?}: valid values are \
+             scalar|avx2|avx512|neon|simd|auto\n  {}",
+            host_kernel_summary()
+        )),
+    }
+}
+
+/// The best available kernel by static preference (widest vectors
+/// first); `SRUMMA_KERNEL` and `calibrate --kernels` exist because the
+/// static order is not always the measured order.
+fn best_available() -> Microkernel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if Microkernel::Avx512.available() {
+            return Microkernel::Avx512;
+        }
+        if Microkernel::Avx2.available() {
+            return Microkernel::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    if Microkernel::Neon.available() {
+        return Microkernel::Neon;
+    }
+    Microkernel::Scalar
+}
+
+/// Resolve a parsed request against this host. Recognized-but-
+/// unrunnable requests (wrong architecture, missing CPU feature) log
+/// why and fall back to detection — they never panic, so flavor loops
+/// in CI scripts run unmodified on any runner.
+fn resolve_request(req: KernelRequest) -> Microkernel {
+    let fallback = |name: &str, why: &str| {
+        let best = best_available();
+        eprintln!("SRUMMA_KERNEL={name} skipped: {why}; using {}", best.name());
+        best
+    };
+    match req {
+        KernelRequest::Auto => best_available(),
+        KernelRequest::Scalar => Microkernel::Scalar,
+        KernelRequest::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if Microkernel::Avx2.available() {
+                    Microkernel::Avx2
+                } else {
+                    fallback("avx2", "host CPU lacks avx2+fma")
+                }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                fallback("avx2", "not an x86_64 build")
+            }
+        }
+        KernelRequest::Avx512 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if Microkernel::Avx512.available() {
+                    Microkernel::Avx512
+                } else {
+                    fallback("avx512", "host CPU lacks avx512f")
+                }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                fallback("avx512", "not an x86_64 build")
+            }
+        }
+        KernelRequest::Neon => {
+            #[cfg(target_arch = "aarch64")]
+            {
+                if Microkernel::Neon.available() {
+                    Microkernel::Neon
+                } else {
+                    fallback("neon", "host CPU lacks NEON")
+                }
+            }
+            #[cfg(not(target_arch = "aarch64"))]
+            {
+                fallback("neon", "not an aarch64 build")
+            }
+        }
+        KernelRequest::BestSimd => {
+            let best = best_available();
+            if best == Microkernel::Scalar {
+                eprintln!("SRUMMA_KERNEL=simd: no SIMD kernel available; using scalar");
+            }
+            best
         }
     }
 }
 
 /// The process-wide dispatched kernel: detected once, cached forever.
 ///
-/// Order of precedence: `SRUMMA_KERNEL` env var (`scalar` forces the
-/// portable kernel, `avx2` forces SIMD where available, `auto`/unset
-/// detects), then runtime CPU feature detection.
+/// Order of precedence: `SRUMMA_KERNEL` env var (strictly parsed — see
+/// [`parse_kernel_request`]), then runtime CPU feature detection
+/// preferring the widest vectors.
 pub fn active_kernel() -> Microkernel {
     static ACTIVE: OnceLock<Microkernel> = OnceLock::new();
     *ACTIVE.get_or_init(detect_kernel)
 }
 
-/// One detection pass (uncached — [`active_kernel`] is the entry point).
+/// One detection pass (uncached — [`active_kernel`] is the entry
+/// point).
+///
+/// # Panics
+/// Panics on an unrecognized `SRUMMA_KERNEL` value: the strict-parse
+/// contract. Recognized-but-unavailable kernels fall back with a log
+/// line instead.
 pub fn detect_kernel() -> Microkernel {
-    let forced = std::env::var("SRUMMA_KERNEL").ok();
-    match forced.as_deref() {
-        Some("scalar") | Some("portable") => return Microkernel::Scalar,
-        Some("avx2") | Some("simd") => {
-            #[cfg(target_arch = "x86_64")]
-            if Microkernel::Avx2.available() {
-                return Microkernel::Avx2;
-            }
-            eprintln!("SRUMMA_KERNEL requested SIMD but AVX2+FMA is unavailable; using scalar");
-            return Microkernel::Scalar;
-        }
-        Some("auto") | None => {}
-        Some(other) => {
-            eprintln!("unknown SRUMMA_KERNEL={other:?} (expected scalar|avx2|auto); detecting");
-        }
+    match std::env::var("SRUMMA_KERNEL") {
+        Ok(raw) => match parse_kernel_request(&raw) {
+            Ok(req) => resolve_request(req),
+            Err(msg) => panic!("{msg}"),
+        },
+        Err(_) => best_available(),
     }
-    #[cfg(target_arch = "x86_64")]
-    if Microkernel::Avx2.available() {
-        return Microkernel::Avx2;
-    }
-    Microkernel::Scalar
 }
 
 /// The portable scalar micro-kernel: accumulate `a_sliver · b_sliver`
@@ -192,7 +433,7 @@ pub fn writeback(
     c: &mut [f64],
     ldc: usize,
 ) {
-    debug_assert!(rows <= MR && cols <= nr);
+    debug_assert!(rows <= MR_MAX && cols <= nr);
     debug_assert!(acc.len() >= rows.saturating_sub(1) * nr + cols);
     for r in 0..rows {
         let dst = &mut c[r * ldc..r * ldc + cols];
@@ -290,28 +531,99 @@ mod tests {
     }
 
     #[test]
+    fn writeback_handles_tall_tiles() {
+        // mr = 8 layout (the AVX-512 tile height), ragged extent.
+        let nr = NR_AVX512;
+        let mut acc = vec![0.0; MR_AVX512 * nr];
+        for (i, v) in acc.iter_mut().enumerate() {
+            *v = i as f64 + 1.0;
+        }
+        let ldc = 11;
+        let mut c = vec![0.0; MR_AVX512 * ldc];
+        writeback(&acc, 1.0, 7, 5, nr, &mut c, ldc);
+        for r in 0..MR_AVX512 {
+            for j in 0..ldc {
+                let expect = if r < 7 && j < 5 { acc[r * nr + j] } else { 0.0 };
+                assert_eq!(c[r * ldc + j], expect, "r={r} j={j}");
+            }
+        }
+    }
+
+    #[test]
     fn dispatch_is_stable_and_available() {
         let k = active_kernel();
         assert!(k.available());
         assert_eq!(k, active_kernel(), "dispatch must be cached, not re-rolled");
-        assert_eq!(k.mr(), MR);
+        assert!(k.mr() <= MR_MAX);
         assert!(k.nr() <= NR_MAX);
+        assert!(k.mr() * k.nr() <= ACC_LEN);
         assert!(!k.name().is_empty());
     }
 
     #[test]
-    fn scalar_kernel_shape() {
+    fn kernel_shapes() {
         assert_eq!(Microkernel::Scalar.mr(), 4);
         assert_eq!(Microkernel::Scalar.nr(), 8);
         assert!(Microkernel::Scalar.available());
+        for &k in Microkernel::all() {
+            assert!(
+                k.mr() * k.nr() <= ACC_LEN,
+                "{} tile exceeds ACC_LEN",
+                k.name()
+            );
+            assert!(k.mr() <= MR_MAX && k.nr() <= NR_MAX);
+            assert!(!k.env_name().is_empty());
+        }
     }
 
     #[cfg(target_arch = "x86_64")]
     #[test]
-    fn avx2_kernel_shape() {
+    fn x86_kernel_shapes() {
         assert_eq!(Microkernel::Avx2.mr(), 4);
         assert_eq!(Microkernel::Avx2.nr(), 12);
         assert_eq!(Microkernel::Avx2.name(), "avx2-4x12");
+        assert_eq!(Microkernel::Avx512.mr(), 8);
+        assert_eq!(Microkernel::Avx512.nr(), 8);
+        assert_eq!(Microkernel::Avx512.name(), "avx512-8x8");
+    }
+
+    #[test]
+    fn parse_accepts_every_valid_name() {
+        assert_eq!(parse_kernel_request("auto"), Ok(KernelRequest::Auto));
+        assert_eq!(parse_kernel_request("scalar"), Ok(KernelRequest::Scalar));
+        assert_eq!(parse_kernel_request("portable"), Ok(KernelRequest::Scalar));
+        assert_eq!(parse_kernel_request("avx2"), Ok(KernelRequest::Avx2));
+        assert_eq!(parse_kernel_request("avx512"), Ok(KernelRequest::Avx512));
+        assert_eq!(parse_kernel_request("neon"), Ok(KernelRequest::Neon));
+        assert_eq!(parse_kernel_request("simd"), Ok(KernelRequest::BestSimd));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_names_with_host_summary() {
+        for bad in ["avx", "AVX2", "scaler", "fast", ""] {
+            let err = parse_kernel_request(bad).unwrap_err();
+            assert!(err.contains("valid values"), "{bad:?}: {err}");
+            assert!(err.contains("scalar"), "{bad:?}: {err}");
+            assert!(err.contains("available"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn recognized_but_unavailable_requests_fall_back_not_panic() {
+        // `neon` parses on every arch; resolving it off-aarch64 must
+        // log + fall back. On aarch64 it resolves to the NEON kernel.
+        let k = resolve_request(KernelRequest::Neon);
+        assert!(k.available());
+        let k = resolve_request(KernelRequest::BestSimd);
+        assert!(k.available());
+    }
+
+    #[test]
+    fn host_summary_names_every_flavor() {
+        let s = host_kernel_summary();
+        for name in ["scalar", "avx2", "avx512", "neon"] {
+            assert!(s.contains(name), "summary missing {name}: {s}");
+        }
     }
 
     #[test]

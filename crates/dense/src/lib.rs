@@ -35,6 +35,7 @@
 //! product transposed; `op(A)` always has shape `m × k` and `op(B)` shape
 //! `k × n`.
 
+pub mod aligned;
 pub mod blocked;
 pub mod effmodel;
 pub mod gemm;
@@ -46,13 +47,18 @@ pub mod pack;
 pub mod rng;
 #[cfg(target_arch = "x86_64")]
 pub mod simd;
+#[cfg(target_arch = "aarch64")]
+pub mod simd_neon;
+pub mod strassen;
 pub mod verify;
+pub mod zorder;
 
-pub use blocked::{BlockSizes, GemmWorkspace};
+pub use blocked::{BlockSizes, GemmConfig, GemmWorkspace, PackLayout};
 pub use effmodel::EffModel;
 pub use gemm::{dgemm, dgemm_into, dgemm_ws, Op};
 pub use kernel::{active_kernel, Microkernel};
 pub use mask::BlockMask;
 pub use matrix::{MatMut, MatRef, Matrix};
 pub use rng::Rng;
+pub use strassen::strassen_gemm_ws;
 pub use verify::{assert_close, max_abs_diff, rel_fro_error};

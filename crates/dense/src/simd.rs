@@ -1,18 +1,28 @@
-//! The AVX2+FMA micro-kernel (`x86_64` only).
+//! The AVX2+FMA and AVX-512F micro-kernels (`x86_64` only).
 //!
-//! A 4×12 register tiling of the packed-sliver product: twelve 256-bit
-//! accumulators (`4` rows × `3` vectors of four `f64`), three B loads
-//! and four A broadcasts per `k` step, twelve fused multiply-adds — all
-//! sixteen `ymm` registers accounted for. The packed layout is the same
-//! `k`-major sliver format the scalar kernel consumes, just `nr = 12`
-//! wide (see [`crate::pack`]), and the slivers are zero-padded at the
-//! edges, so no masked loads are ever needed.
+//! **AVX2** is a 4×12 register tiling of the packed-sliver product:
+//! twelve 256-bit accumulators (`4` rows × `3` vectors of four `f64`),
+//! three B loads and four A broadcasts per `k` step, twelve fused
+//! multiply-adds — all sixteen `ymm` registers accounted for.
+//!
+//! **AVX-512** is an 8×8 tiling: eight 512-bit accumulators (one zmm
+//! covers a full 8-wide tile row), one B load and eight A broadcasts
+//! per `k` step, eight fused multiply-adds. Doubling `mr` instead of
+//! `nr` halves B-load traffic per flop relative to a 4×16 shape and
+//! keeps the B sliver width equal to the scalar kernel's (`nr = 8`),
+//! and eight independent accumulator chains cover the FMA latency of
+//! one 512-bit FMA port. The packing buffers are 64-byte aligned
+//! ([`crate::aligned`]) so every sliver starts on a zmm boundary.
+//!
+//! Both consume the same `k`-major sliver format the scalar kernel
+//! does, at their own `mr`/`nr` (see [`crate::pack`]); slivers are
+//! zero-padded at the edges, so no masked loads are ever needed.
 //!
 //! Everything here is `unsafe fn` + `#[target_feature]`: callers reach
 //! it through [`crate::kernel::Microkernel::run`], which guarantees the
 //! features were detected at dispatch time.
 
-use crate::kernel::{MR, NR_AVX2};
+use crate::kernel::{MR, MR_AVX512, NR_AVX2, NR_AVX512};
 use std::arch::x86_64::*;
 
 /// Vectors per accumulator row (`NR_AVX2 / 4` lanes of f64).
@@ -59,6 +69,42 @@ pub unsafe fn microkernel_avx2(kc: usize, a_sliver: &[f64], b_sliver: &[f64], ac
         for (j, v) in row.iter().enumerate() {
             _mm256_storeu_pd(acc.as_mut_ptr().add(r * NR_AVX2 + j * 4), *v);
         }
+    }
+}
+
+/// Accumulate `a_sliver · b_sliver` into the `MR_AVX512 × NR_AVX512`
+/// tile at the front of `acc` (element `(r, c)` at `r * NR_AVX512 + c`),
+/// with fused multiply-adds.
+///
+/// # Safety
+/// The caller must have verified `avx512f` is available on this host
+/// (e.g. via [`crate::kernel::Microkernel::available`]). Slice bounds
+/// are asserted.
+#[target_feature(enable = "avx512f")]
+pub unsafe fn microkernel_avx512(kc: usize, a_sliver: &[f64], b_sliver: &[f64], acc: &mut [f64]) {
+    assert!(a_sliver.len() >= kc * MR_AVX512);
+    assert!(b_sliver.len() >= kc * NR_AVX512);
+    assert!(acc.len() >= MR_AVX512 * NR_AVX512);
+
+    // Start from the caller's accumulator so the kernel keeps the same
+    // accumulate-in semantics as the scalar path.
+    let mut c: [__m512d; MR_AVX512] = [_mm512_setzero_pd(); MR_AVX512];
+    for (r, v) in c.iter_mut().enumerate() {
+        *v = _mm512_loadu_pd(acc.as_ptr().add(r * NR_AVX512));
+    }
+
+    let ap = a_sliver.as_ptr();
+    let bp = b_sliver.as_ptr();
+    for k in 0..kc {
+        let b0 = _mm512_loadu_pd(bp.add(k * NR_AVX512));
+        for (r, v) in c.iter_mut().enumerate() {
+            let av = _mm512_set1_pd(*ap.add(k * MR_AVX512 + r));
+            *v = _mm512_fmadd_pd(av, b0, *v);
+        }
+    }
+
+    for (r, v) in c.iter().enumerate() {
+        _mm512_storeu_pd(acc.as_mut_ptr().add(r * NR_AVX512), *v);
     }
 }
 
@@ -111,6 +157,52 @@ mod tests {
         unsafe {
             microkernel_avx2(1, &a, &b, &mut acc);
             microkernel_avx2(1, &a, &b, &mut acc);
+        }
+        assert!(acc.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn avx512_matches_exact_integer_products() {
+        if !Microkernel::Avx512.available() {
+            eprintln!("skipping: host lacks AVX-512F");
+            return;
+        }
+        let kc = 9;
+        let mut a = vec![0.0; kc * MR_AVX512];
+        let mut b = vec![0.0; kc * NR_AVX512];
+        for k in 0..kc {
+            for r in 0..MR_AVX512 {
+                a[k * MR_AVX512 + r] = (r + 2 * k) as f64 - 5.0;
+            }
+            for c in 0..NR_AVX512 {
+                b[k * NR_AVX512 + c] = 3.0 * (c as f64) - (k as f64);
+            }
+        }
+        let mut acc = vec![1.0; MR_AVX512 * NR_AVX512];
+        unsafe { microkernel_avx512(kc, &a, &b, &mut acc) };
+        for r in 0..MR_AVX512 {
+            for c in 0..NR_AVX512 {
+                let mut expect = 1.0; // accumulate-in semantics
+                for k in 0..kc {
+                    expect += ((r + 2 * k) as f64 - 5.0) * (3.0 * (c as f64) - (k as f64));
+                }
+                assert_eq!(acc[r * NR_AVX512 + c], expect, "r={r} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn avx512_accumulates_across_calls() {
+        if !Microkernel::Avx512.available() {
+            eprintln!("skipping: host lacks AVX-512F");
+            return;
+        }
+        let a = vec![1.0; MR_AVX512];
+        let b = vec![1.0; NR_AVX512];
+        let mut acc = vec![0.0; MR_AVX512 * NR_AVX512];
+        unsafe {
+            microkernel_avx512(1, &a, &b, &mut acc);
+            microkernel_avx512(1, &a, &b, &mut acc);
         }
         assert!(acc.iter().all(|&v| v == 2.0));
     }

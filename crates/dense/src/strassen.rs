@@ -1,0 +1,574 @@
+//! Strassen recursion above the cache-blocked kernel.
+//!
+//! Classic seven-product Strassen–Winograd-era formulation (the
+//! original Strassen identities, not the Winograd variant — two fewer
+//! additions do not matter next to the kernel, and the original's error
+//! growth is the one the tolerance tests document):
+//!
+//! ```text
+//! M1 = (A11 + A22)(B11 + B22)     C11 = M1 + M4 - M5 + M7
+//! M2 = (A21 + A22) B11            C12 = M3 + M5
+//! M3 = A11 (B12 - B22)            C21 = M2 + M4
+//! M4 = A22 (B21 - B11)            C22 = M1 - M2 + M3 + M6
+//! M5 = (A11 + A12) B22
+//! M6 = (A21 - A11)(B11 + B12)
+//! M7 = (A12 - A22)(B21 + B22)
+//! ```
+//!
+//! Each level peels odd dimensions dynamically: the recursion covers
+//! the even `2⌊m/2⌋ × 2⌊n/2⌋ × 2⌊k/2⌋` core and three thin rank-update
+//! fix-ups go straight to [`blocked_gemm_ws`]. Recursion stops when the
+//! smallest dimension reaches the cutoff
+//! ([`GemmWorkspace::strassen_cutoff`], floor
+//! [`crate::blocked::STRASSEN_MIN_CUTOFF`]) and leaves run on the
+//! regular blocked kernel — so Strassen is purely a *scheduling* layer;
+//! every flop is still executed by the packed micro-kernels.
+//!
+//! **Workspace.** All temporaries come from a scratch arena owned by
+//! the [`GemmWorkspace`], sized up front from the closed-form demand
+//! recurrence [`strassen_scratch_elems`] (one `m2×k2` + one `k2×n2` +
+//! one `m2×n2` buffer per level, reused across all seven products).
+//! Repeated calls at the same shape never reallocate —
+//! [`GemmWorkspace::strassen_grow_count`] stays at 1, matching the pack
+//! buffers' grow-at-most-once guarantee.
+//!
+//! **Numerics.** Strassen trades the classic algorithm's elementwise
+//! error bound for a weaker norm-wise one: roughly a factor of
+//! `O((m/cutoff)^log2(12)) ≈ (m/cutoff)^3.6` growth in the worst-case
+//! constant, though in practice a handful of recursion levels cost a
+//! low single-digit factor over the blocked kernel. The differential
+//! suite (`tests/strassen_differential.rs`) pins this down: products of
+//! small integers are **bitwise exact** (every intermediate is exactly
+//! representable), and float inputs obey a k-scaled tolerance with an
+//! extra factor-of-4 headroom per recursion level.
+
+use crate::blocked::{blocked_gemm_ws, GemmWorkspace};
+use crate::gemm::Op;
+use crate::matrix::{MatMut, MatRef};
+
+/// Scratch demand (in f64 elements) of [`strassen_gemm_ws`] for an
+/// `m × n × k` product at the given cutoff: one level contributes the
+/// three quadrant temporaries, then recurses on the halved shape.
+pub fn strassen_scratch_elems(m: usize, n: usize, k: usize, cutoff: usize) -> usize {
+    let (mut m, mut n, mut k) = (m, n, k);
+    let mut total = 0;
+    while m.min(n).min(k) > cutoff {
+        let (m2, n2, k2) = (m / 2, n / 2, k / 2);
+        total += m2 * k2 + k2 * n2 + m2 * n2;
+        m = m2;
+        n = n2;
+        k = k2;
+    }
+    total
+}
+
+/// Number of recursion levels [`strassen_gemm_ws`] will take for an
+/// `m × n × k` product at the given cutoff (0 = straight to blocked).
+pub fn strassen_levels(m: usize, n: usize, k: usize, cutoff: usize) -> u32 {
+    let (mut m, mut n, mut k) = (m, n, k);
+    let mut levels = 0;
+    while m.min(n).min(k) > cutoff {
+        m /= 2;
+        n /= 2;
+        k /= 2;
+        levels += 1;
+    }
+    levels
+}
+
+/// A gemm operand: a stored view plus its transpose flag. Logical
+/// (post-op) indexing throughout, so the recursion never has to reason
+/// about storage orientation — quadrants of `op(A)` are just quadrants
+/// with swapped stored coordinates when `op == T`.
+#[derive(Clone, Copy)]
+struct Operand<'a> {
+    mat: MatRef<'a>,
+    op: Op,
+}
+
+impl<'a> Operand<'a> {
+    fn rows(&self) -> usize {
+        self.op.apply(self.mat.rows(), self.mat.cols()).0
+    }
+
+    fn cols(&self) -> usize {
+        self.op.apply(self.mat.rows(), self.mat.cols()).1
+    }
+
+    /// Logical sub-block `(i0, j0, rows, cols)` of `op(X)`.
+    fn sub(&self, i0: usize, j0: usize, rows: usize, cols: usize) -> Operand<'a> {
+        let mat = match self.op {
+            Op::N => self.mat.block(i0, j0, rows, cols),
+            Op::T => self.mat.block(j0, i0, cols, rows),
+        };
+        Operand { mat, op: self.op }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        match self.op {
+            Op::N => self.mat.at(i, j),
+            Op::T => self.mat.at(j, i),
+        }
+    }
+}
+
+/// `dst[i*cols + j] = x[i,j] + sign * y[i,j]` over an `rows × cols`
+/// logical block (the quadrant add/sub feeding each Strassen product).
+fn combine(dst: &mut [f64], rows: usize, cols: usize, x: &Operand<'_>, sign: f64, y: &Operand<'_>) {
+    debug_assert!(dst.len() >= rows * cols);
+    for i in 0..rows {
+        let row = &mut dst[i * cols..(i + 1) * cols];
+        match (x.op, y.op) {
+            (Op::N, Op::N) => {
+                let xr = x.mat.row(i);
+                let yr = y.mat.row(i);
+                for j in 0..cols {
+                    row[j] = xr[j] + sign * yr[j];
+                }
+            }
+            _ => {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = x.at(i, j) + sign * y.at(i, j);
+                }
+            }
+        }
+    }
+}
+
+/// `C[r0.., c0..] += s * src` over an `rows × cols` block, `src` dense
+/// row-major (the ±Mi accumulation into C quadrants).
+fn axpy_block(
+    c: &mut MatMut<'_>,
+    r0: usize,
+    c0: usize,
+    rows: usize,
+    cols: usize,
+    s: f64,
+    src: &[f64],
+) {
+    debug_assert!(src.len() >= rows * cols);
+    let mut tile = c.reborrow().block(r0, c0, rows, cols);
+    for i in 0..rows {
+        let dst = tile.row_mut(i);
+        let srow = &src[i * cols..(i + 1) * cols];
+        for j in 0..cols {
+            dst[j] += s * srow[j];
+        }
+    }
+}
+
+/// Strassen-routed `C ← α·op(A)·op(B) + β·C`. Same shape contract as
+/// [`crate::dgemm`]; requires the workspace to carry a cutoff
+/// ([`GemmWorkspace::with_strassen`] or `SRUMMA_STRASSEN`). Problems
+/// already at or below the cutoff fall through to the blocked kernel
+/// unchanged.
+#[allow(clippy::too_many_arguments)]
+pub fn strassen_gemm_ws(
+    transa: Op,
+    transb: Op,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+    ws: &mut GemmWorkspace,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let (am, ak) = transa.apply(a.rows(), a.cols());
+    let (bk, bn) = transb.apply(b.rows(), b.cols());
+    assert_eq!(am, m, "op(A) rows {am} != C rows {m}");
+    assert_eq!(bn, n, "op(B) cols {bn} != C cols {n}");
+    assert_eq!(ak, bk, "op(A) cols {ak} != op(B) rows {bk}");
+    let k = ak;
+
+    let cutoff = ws
+        .strassen_cutoff()
+        .expect("strassen_gemm_ws requires a workspace with a Strassen cutoff");
+
+    c.scale(beta);
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+
+    ws.strassen_reserve(strassen_scratch_elems(m, n, k, cutoff));
+    // Detach the arena so the recursion can borrow it and the
+    // workspace's pack buffers independently.
+    let mut arena = ws.strassen_take();
+    rec(
+        alpha,
+        Operand { mat: a, op: transa },
+        Operand { mat: b, op: transb },
+        &mut c,
+        cutoff,
+        ws,
+        &mut arena,
+    );
+    ws.strassen_put(arena);
+}
+
+/// One recursion level: `C += α·op(A)·op(B)` (beta already applied by
+/// the entry point; leaves therefore run blocked with `beta = 1`).
+fn rec(
+    alpha: f64,
+    a: Operand<'_>,
+    b: Operand<'_>,
+    c: &mut MatMut<'_>,
+    cutoff: usize,
+    ws: &mut GemmWorkspace,
+    scratch: &mut [f64],
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = a.cols();
+    debug_assert_eq!(a.rows(), m);
+    debug_assert_eq!(b.rows(), k);
+    debug_assert_eq!(b.cols(), n);
+
+    if m.min(n).min(k) <= cutoff {
+        blocked_gemm_ws(a.op, b.op, alpha, a.mat, b.mat, 1.0, c.reborrow(), ws);
+        return;
+    }
+
+    let (m2, n2, k2) = (m / 2, n / 2, k / 2);
+    let (me, ne, ke) = (2 * m2, 2 * n2, 2 * k2);
+
+    let a11 = a.sub(0, 0, m2, k2);
+    let a12 = a.sub(0, k2, m2, k2);
+    let a21 = a.sub(m2, 0, m2, k2);
+    let a22 = a.sub(m2, k2, m2, k2);
+    let b11 = b.sub(0, 0, k2, n2);
+    let b12 = b.sub(0, n2, k2, n2);
+    let b21 = b.sub(k2, 0, k2, n2);
+    let b22 = b.sub(k2, n2, k2, n2);
+
+    let (ta, rest) = scratch.split_at_mut(m2 * k2);
+    let (tb, rest) = rest.split_at_mut(k2 * n2);
+    let (mm, child) = rest.split_at_mut(m2 * n2);
+
+    // Each product recurses with alpha = 1 into a zeroed mm buffer,
+    // then lands in C quadrants scaled by ±alpha — keeping a single
+    // multiply-by-alpha per element per product.
+
+    // M1 = (A11 + A22)(B11 + B22) -> +C11, +C22
+    combine(ta, m2, k2, &a11, 1.0, &a22);
+    combine(tb, k2, n2, &b11, 1.0, &b22);
+    mm.fill(0.0);
+    {
+        let pa = Operand {
+            mat: MatRef::new(m2, k2, k2, ta),
+            op: Op::N,
+        };
+        let pb = Operand {
+            mat: MatRef::new(k2, n2, n2, tb),
+            op: Op::N,
+        };
+        let mut pc = MatMut::new(m2, n2, n2, mm);
+        rec(1.0, pa, pb, &mut pc, cutoff, ws, child);
+    }
+    axpy_block(c, 0, 0, m2, n2, alpha, mm);
+    axpy_block(c, m2, n2, m2, n2, alpha, mm);
+
+    // M2 = (A21 + A22) B11 -> +C21, -C22
+    combine(ta, m2, k2, &a21, 1.0, &a22);
+    mm.fill(0.0);
+    {
+        let pa = Operand {
+            mat: MatRef::new(m2, k2, k2, ta),
+            op: Op::N,
+        };
+        let mut pc = MatMut::new(m2, n2, n2, mm);
+        rec(1.0, pa, b11, &mut pc, cutoff, ws, child);
+    }
+    axpy_block(c, m2, 0, m2, n2, alpha, mm);
+    axpy_block(c, m2, n2, m2, n2, -alpha, mm);
+
+    // M3 = A11 (B12 - B22) -> +C12, +C22
+    combine(tb, k2, n2, &b12, -1.0, &b22);
+    mm.fill(0.0);
+    {
+        let pb = Operand {
+            mat: MatRef::new(k2, n2, n2, tb),
+            op: Op::N,
+        };
+        let mut pc = MatMut::new(m2, n2, n2, mm);
+        rec(1.0, a11, pb, &mut pc, cutoff, ws, child);
+    }
+    axpy_block(c, 0, n2, m2, n2, alpha, mm);
+    axpy_block(c, m2, n2, m2, n2, alpha, mm);
+
+    // M4 = A22 (B21 - B11) -> +C11, +C21
+    combine(tb, k2, n2, &b21, -1.0, &b11);
+    mm.fill(0.0);
+    {
+        let pb = Operand {
+            mat: MatRef::new(k2, n2, n2, tb),
+            op: Op::N,
+        };
+        let mut pc = MatMut::new(m2, n2, n2, mm);
+        rec(1.0, a22, pb, &mut pc, cutoff, ws, child);
+    }
+    axpy_block(c, 0, 0, m2, n2, alpha, mm);
+    axpy_block(c, m2, 0, m2, n2, alpha, mm);
+
+    // M5 = (A11 + A12) B22 -> -C11, +C12
+    combine(ta, m2, k2, &a11, 1.0, &a12);
+    mm.fill(0.0);
+    {
+        let pa = Operand {
+            mat: MatRef::new(m2, k2, k2, ta),
+            op: Op::N,
+        };
+        let mut pc = MatMut::new(m2, n2, n2, mm);
+        rec(1.0, pa, b22, &mut pc, cutoff, ws, child);
+    }
+    axpy_block(c, 0, 0, m2, n2, -alpha, mm);
+    axpy_block(c, 0, n2, m2, n2, alpha, mm);
+
+    // M6 = (A21 - A11)(B11 + B12) -> +C22
+    combine(ta, m2, k2, &a21, -1.0, &a11);
+    combine(tb, k2, n2, &b11, 1.0, &b12);
+    mm.fill(0.0);
+    {
+        let pa = Operand {
+            mat: MatRef::new(m2, k2, k2, ta),
+            op: Op::N,
+        };
+        let pb = Operand {
+            mat: MatRef::new(k2, n2, n2, tb),
+            op: Op::N,
+        };
+        let mut pc = MatMut::new(m2, n2, n2, mm);
+        rec(1.0, pa, pb, &mut pc, cutoff, ws, child);
+    }
+    axpy_block(c, m2, n2, m2, n2, alpha, mm);
+
+    // M7 = (A12 - A22)(B21 + B22) -> +C11
+    combine(ta, m2, k2, &a12, -1.0, &a22);
+    combine(tb, k2, n2, &b21, 1.0, &b22);
+    mm.fill(0.0);
+    {
+        let pa = Operand {
+            mat: MatRef::new(m2, k2, k2, ta),
+            op: Op::N,
+        };
+        let pb = Operand {
+            mat: MatRef::new(k2, n2, n2, tb),
+            op: Op::N,
+        };
+        let mut pc = MatMut::new(m2, n2, n2, mm);
+        rec(1.0, pa, pb, &mut pc, cutoff, ws, child);
+    }
+    axpy_block(c, 0, 0, m2, n2, alpha, mm);
+
+    // Dynamic peeling for odd dimensions: three thin fix-up gemms on
+    // the blocked kernel (rank-1-ish updates; Strassen gains nothing).
+    if ke < k {
+        // C[0..me, 0..ne] += α · op(A)[0..me, ke..k] · op(B)[ke..k, 0..ne]
+        let ap = a.sub(0, ke, me, k - ke);
+        let bp = b.sub(ke, 0, k - ke, ne);
+        blocked_gemm_ws(
+            ap.op,
+            bp.op,
+            alpha,
+            ap.mat,
+            bp.mat,
+            1.0,
+            c.reborrow().block(0, 0, me, ne),
+            ws,
+        );
+    }
+    if ne < n {
+        // C[0..me, ne..n] += α · op(A)[0..me, ..] · op(B)[.., ne..n]
+        let ap = a.sub(0, 0, me, k);
+        let bp = b.sub(0, ne, k, n - ne);
+        blocked_gemm_ws(
+            ap.op,
+            bp.op,
+            alpha,
+            ap.mat,
+            bp.mat,
+            1.0,
+            c.reborrow().block(0, ne, me, n - ne),
+            ws,
+        );
+    }
+    if me < m {
+        // C[me..m, ..] += α · op(A)[me..m, ..] · op(B)
+        let ap = a.sub(me, 0, m - me, k);
+        let bp = b.sub(0, 0, k, n);
+        blocked_gemm_ws(
+            ap.op,
+            bp.op,
+            alpha,
+            ap.mat,
+            bp.mat,
+            1.0,
+            c.reborrow().block(me, 0, m - me, n),
+            ws,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocked::STRASSEN_MIN_CUTOFF;
+    use crate::matrix::Matrix;
+    use crate::naive::naive_gemm;
+    use crate::verify::assert_close;
+
+    #[test]
+    fn scratch_recurrence_matches_levels() {
+        assert_eq!(strassen_scratch_elems(16, 16, 16, 16), 0);
+        assert_eq!(strassen_levels(16, 16, 16, 16), 0);
+        // One level on 64³ at cutoff 32: 3 * 32*32 temps.
+        assert_eq!(strassen_scratch_elems(64, 64, 64, 32), 3 * 32 * 32);
+        assert_eq!(strassen_levels(64, 64, 64, 32), 1);
+        // Two levels on 128³.
+        assert_eq!(
+            strassen_scratch_elems(128, 128, 128, 32),
+            3 * 64 * 64 + 3 * 32 * 32
+        );
+        assert_eq!(strassen_levels(128, 128, 128, 32), 2);
+        // Rectangular: the min dimension gates recursion.
+        assert_eq!(strassen_scratch_elems(128, 128, 16, 32), 0);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check(m: usize, n: usize, k: usize, ta: Op, tb: Op, alpha: f64, beta: f64, cutoff: usize) {
+        let (ar, ac) = match ta {
+            Op::N => (m, k),
+            Op::T => (k, m),
+        };
+        let (br, bc) = match tb {
+            Op::N => (k, n),
+            Op::T => (n, k),
+        };
+        let seed = (m * 31 + n * 7 + k) as u64;
+        let a = Matrix::random(ar, ac, seed);
+        let b = Matrix::random(br, bc, seed + 1);
+        let c0 = Matrix::random(m, n, seed + 2);
+
+        let mut expect = c0.clone();
+        naive_gemm(ta, tb, alpha, a.as_ref(), b.as_ref(), beta, expect.as_mut());
+
+        let mut got = c0.clone();
+        let mut ws = GemmWorkspace::new().with_strassen(Some(cutoff));
+        strassen_gemm_ws(
+            ta,
+            tb,
+            alpha,
+            a.as_ref(),
+            b.as_ref(),
+            beta,
+            got.as_mut(),
+            &mut ws,
+        );
+        let tol = 1e-13 * (k as f64) + 1e-11;
+        assert_close(&got, &expect, tol);
+    }
+
+    #[test]
+    fn strassen_all_transposes_even_shape() {
+        for &ta in &[Op::N, Op::T] {
+            for &tb in &[Op::N, Op::T] {
+                check(64, 64, 64, ta, tb, 1.0, 0.0, STRASSEN_MIN_CUTOFF);
+            }
+        }
+    }
+
+    #[test]
+    fn strassen_odd_shapes_peel_correctly() {
+        // Odd in every combination of dimensions, multiple levels.
+        check(65, 64, 64, Op::N, Op::N, 1.0, 0.0, STRASSEN_MIN_CUTOFF);
+        check(64, 65, 64, Op::N, Op::N, 1.0, 0.0, STRASSEN_MIN_CUTOFF);
+        check(64, 64, 65, Op::N, Op::N, 1.0, 0.0, STRASSEN_MIN_CUTOFF);
+        check(67, 65, 69, Op::T, Op::N, 1.0, 0.0, STRASSEN_MIN_CUTOFF);
+        check(81, 77, 83, Op::N, Op::T, 1.0, 0.0, STRASSEN_MIN_CUTOFF);
+    }
+
+    #[test]
+    fn strassen_alpha_beta_paths() {
+        check(48, 48, 48, Op::N, Op::N, 2.5, 0.5, STRASSEN_MIN_CUTOFF);
+        check(48, 48, 48, Op::T, Op::T, -1.0, 1.0, STRASSEN_MIN_CUTOFF);
+    }
+
+    #[test]
+    fn strassen_below_cutoff_is_plain_blocked() {
+        // min dim <= cutoff: no recursion, no scratch demand.
+        let mut ws = GemmWorkspace::new().with_strassen(Some(64));
+        let a = Matrix::random(32, 32, 5);
+        let b = Matrix::random(32, 32, 6);
+        let mut c = Matrix::zeros(32, 32);
+        strassen_gemm_ws(
+            Op::N,
+            Op::N,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+            &mut ws,
+        );
+        assert_eq!(ws.strassen_grow_count(), 0);
+        let mut expect = Matrix::zeros(32, 32);
+        naive_gemm(
+            Op::N,
+            Op::N,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            expect.as_mut(),
+        );
+        assert_close(&c, &expect, 1e-12);
+    }
+
+    #[test]
+    fn strassen_arena_grows_at_most_once() {
+        let mut ws = GemmWorkspace::new().with_strassen(Some(STRASSEN_MIN_CUTOFF));
+        let a = Matrix::random(96, 96, 9);
+        let b = Matrix::random(96, 96, 10);
+        let mut c = Matrix::zeros(96, 96);
+        for i in 0..3 {
+            strassen_gemm_ws(
+                Op::N,
+                Op::N,
+                1.0,
+                a.as_ref(),
+                b.as_ref(),
+                0.0,
+                c.as_mut(),
+                &mut ws,
+            );
+            assert_eq!(ws.strassen_grow_count(), 1, "call {i}");
+            assert_eq!(ws.grow_count(), 1, "call {i}: pack buffers");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a workspace with a Strassen cutoff")]
+    fn strassen_without_cutoff_panics() {
+        let mut ws = GemmWorkspace::new();
+        if ws.strassen_cutoff().is_some() {
+            // Environment forced Strassen on; the contract under test
+            // does not apply. Trip the expected panic manually.
+            panic!("requires a workspace with a Strassen cutoff");
+        }
+        let a = Matrix::zeros(4, 4);
+        let b = Matrix::zeros(4, 4);
+        let mut c = Matrix::zeros(4, 4);
+        strassen_gemm_ws(
+            Op::N,
+            Op::N,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+            &mut ws,
+        );
+    }
+}

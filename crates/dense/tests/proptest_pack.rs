@@ -1,16 +1,19 @@
-//! Property-style tests for the operand packers (`pack_a` / `pack_b`),
-//! which were previously only exercised indirectly through
-//! `blocked_gemm`: sliver ordering, zero-padding at ragged edges, and
-//! transposed + strided source views, for both sliver widths in use
-//! (`nr = 8` scalar, `nr = 12` AVX2).
+//! Property-style tests for the operand packers (`pack_a` / `pack_b` /
+//! `pack_a_zorder`), which were previously only exercised indirectly
+//! through `blocked_gemm`: sliver ordering, zero-padding at ragged
+//! edges, and transposed + strided source views, for every sliver
+//! geometry in use (`mr = 4` scalar/AVX2/NEON, `mr = 8` AVX-512;
+//! `nr = 8` scalar/AVX-512/NEON, `nr = 12` AVX2) and for the Morton
+//! Z-order A-panel layout.
 //!
 //! Buffers are pre-filled with NaN so any cell the packer fails to
 //! write — padding it should have zeroed, elements it should have
 //! copied — poisons the comparison instead of passing by luck.
 
 use srumma_dense::gemm::Op;
-use srumma_dense::kernel::{MR, NR, NR_AVX2};
+use srumma_dense::kernel::{MR, MR_AVX512, NR, NR_AVX2};
 use srumma_dense::pack::{pack_a, pack_b};
+use srumma_dense::zorder::{pack_a_zorder, ZShape, ZT_K};
 use srumma_dense::{MatRef, Matrix, Rng};
 
 const CASES: u64 = 48;
@@ -32,12 +35,14 @@ fn op_at(v: MatRef<'_>, trans: Op, i: usize, j: usize) -> f64 {
 }
 
 /// Every packed A cell equals the corresponding `op(A)` element (sliver
-/// ordering + k-major layout) or zero (edge padding past the panel).
+/// ordering + k-major layout) or zero (edge padding past the panel),
+/// for both sliver heights in use (`mr = 4` and the AVX-512 `mr = 8`).
 #[test]
 fn pack_a_slivers_match_logical_panel() {
     for case in 0..CASES {
         let mut rng = Rng::new(0x00A0_9AC4_u64.wrapping_add(case));
         let trans = random_op(&mut rng);
+        let mr = if rng.chance(0.5) { MR } else { MR_AVX512 };
         // Panel inside op(A), with a nonzero origin half the time.
         let mc = rng.range(1, 20);
         let kc = rng.range(1, 20);
@@ -54,15 +59,15 @@ fn pack_a_slivers_match_logical_panel() {
         let big = Matrix::random(vr + pr + 2, vc + pc + 3, rng.next_u64());
         let view = big.block(pr, pc, vr, vc);
 
-        let slivers = mc.div_ceil(MR);
-        let mut buf = vec![f64::NAN; slivers * MR * kc];
-        pack_a(trans, view, i0, l0, mc, kc, MR, &mut buf);
+        let slivers = mc.div_ceil(mr);
+        let mut buf = vec![f64::NAN; slivers * mr * kc];
+        pack_a(trans, view, i0, l0, mc, kc, mr, &mut buf);
 
         for s in 0..slivers {
             for k in 0..kc {
-                for r in 0..MR {
-                    let got = buf[s * MR * kc + k * MR + r];
-                    let row = s * MR + r;
+                for r in 0..mr {
+                    let got = buf[s * mr * kc + k * mr + r];
+                    let row = s * mr + r;
                     let expect = if row < mc {
                         op_at(view, trans, i0 + row, l0 + k)
                     } else {
@@ -70,8 +75,60 @@ fn pack_a_slivers_match_logical_panel() {
                     };
                     assert!(
                         got == expect,
-                        "case {case} trans={trans:?} s={s} k={k} r={r}: {got} != {expect}"
+                        "case {case} trans={trans:?} mr={mr} s={s} k={k} r={r}: {got} != {expect}"
                     );
+                }
+            }
+        }
+    }
+}
+
+/// The Z-order packer obeys the same logical contract through the
+/// Morton tile map: tile `(s, t)` element `(r, kk)` equals
+/// `op(A)[s*mr + r][t*ZT_K + kk]` or zero (row padding), under
+/// transposed and strided views and both sliver heights.
+#[test]
+fn pack_a_zorder_tiles_match_logical_panel() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x00A0_2024_u64.wrapping_add(case));
+        let trans = random_op(&mut rng);
+        let mr = if rng.chance(0.5) { MR } else { MR_AVX512 };
+        let mc = rng.range(1, 40);
+        let kc = rng.range(1, 80);
+        let i0 = rng.range(0, 6);
+        let l0 = rng.range(0, 6);
+        let (vr, vc) = match trans {
+            Op::N => (i0 + mc, l0 + kc),
+            Op::T => (l0 + kc, i0 + mc),
+        };
+        let pr = rng.range(0, 4);
+        let pc = rng.range(0, 4);
+        let big = Matrix::random(vr + pr + 2, vc + pc + 3, rng.next_u64());
+        let view = big.block(pr, pc, vr, vc);
+
+        let z = ZShape::new(mc, kc, mr);
+        let mut buf = vec![f64::NAN; z.elems()];
+        pack_a_zorder(trans, view, i0, l0, mc, kc, mr, &mut buf);
+
+        for s in 0..z.slivers {
+            for t in 0..z.chunks {
+                let kt = ZT_K.min(kc - t * ZT_K);
+                let off = z.tile_offset(s, t);
+                for kk in 0..kt {
+                    for r in 0..mr {
+                        let got = buf[off + kk * mr + r];
+                        let row = s * mr + r;
+                        let expect = if row < mc {
+                            op_at(view, trans, i0 + row, l0 + t * ZT_K + kk)
+                        } else {
+                            0.0
+                        };
+                        assert!(
+                            got == expect,
+                            "case {case} trans={trans:?} mr={mr} s={s} t={t} kk={kk} r={r}: \
+                             {got} != {expect}"
+                        );
+                    }
                 }
             }
         }
@@ -130,20 +187,39 @@ fn ragged_edges_overwrite_poisoned_buffers_with_zeros() {
     for &(dim, nr_opt) in &[
         (1usize, None),
         (MR + 1, None),
+        (MR_AVX512 + 1, None),
         (NR + 3, Some(NR)),
         (NR_AVX2 + 5, Some(NR_AVX2)),
     ] {
-        // A side: mc not a multiple of MR.
-        let mc = dim;
         let kc = 7;
-        let m = Matrix::random(mc, kc, 9);
-        let slivers = mc.div_ceil(MR);
-        let mut buf = vec![f64::NAN; slivers * MR * kc];
-        pack_a(Op::N, m.as_ref(), 0, 0, mc, kc, MR, &mut buf);
-        assert!(
-            buf.iter().all(|v| v.is_finite()),
-            "pack_a left NaN in a padded cell (mc={mc})"
-        );
+        // A side: mc not a multiple of mr, at both sliver heights and
+        // in both layouts (the Z-order packer reads padding as data
+        // through the same kernels, so its pad cells matter equally).
+        for &mr in &[MR, MR_AVX512] {
+            let mc = dim;
+            let m = Matrix::random(mc, kc, 9);
+            let slivers = mc.div_ceil(mr);
+            let mut buf = vec![f64::NAN; slivers * mr * kc];
+            pack_a(Op::N, m.as_ref(), 0, 0, mc, kc, mr, &mut buf);
+            assert!(
+                buf.iter().all(|v| v.is_finite()),
+                "pack_a left NaN in a padded cell (mc={mc}, mr={mr})"
+            );
+
+            let z = ZShape::new(mc, kc, mr);
+            let mut zbuf = vec![f64::NAN; z.elems()];
+            pack_a_zorder(Op::N, m.as_ref(), 0, 0, mc, kc, mr, &mut zbuf);
+            for s in 0..z.slivers {
+                for t in 0..z.chunks {
+                    let kt = ZT_K.min(kc - t * ZT_K);
+                    let off = z.tile_offset(s, t);
+                    assert!(
+                        zbuf[off..off + kt * mr].iter().all(|v| v.is_finite()),
+                        "pack_a_zorder left NaN in a live tile (mc={mc}, mr={mr}, s={s}, t={t})"
+                    );
+                }
+            }
+        }
 
         // B side: nc not a multiple of nr.
         if let Some(nr) = nr_opt {

@@ -1,0 +1,232 @@
+//! Differential tests: Strassen-routed `dgemm_ws` against the plain
+//! blocked path, over the same workspace API callers use.
+//!
+//! Two oracles, mirroring `simd_differential.rs`:
+//!
+//! * **Integer-valued inputs with small products** — every Strassen
+//!   intermediate (block sums/differences, the seven products, the
+//!   quadrant recombinations) is an exactly representable integer, so
+//!   both routes must agree *bitwise*. This pins the identity wiring:
+//!   a sign flipped in any `M_i` combination is an off-by-integer, not
+//!   a rounding blur, and the test catches it deterministically.
+//! * **Random float inputs** — Strassen is not bitwise-equal on
+//!   floats: each recursion level replaces one multiply with sums of
+//!   products of sums, growing the error constant roughly 4× per
+//!   level. The tolerance scales with `k` (accumulation length) and
+//!   with `4^levels` headroom, as documented in `strassen.rs`.
+//!
+//! Cutoff-edge shapes get their own test: `m = n = k = cutoff ± 1`
+//! straddles the leaf predicate (`min(m, n, k) <= cutoff`), exercising
+//! both "exactly one split then leaf" and "leaf immediately", plus the
+//! odd-dimension peeling those shapes force.
+
+use srumma_dense::kernel::Microkernel;
+use srumma_dense::{dgemm_ws, GemmWorkspace, Matrix, Op};
+
+/// Strassen recursion depth for an m×n×k problem at `cutoff` — the
+/// same halving the implementation performs, for tolerance scaling.
+fn levels(mut m: usize, mut n: usize, mut k: usize, cutoff: usize) -> u32 {
+    let mut l = 0;
+    while m.min(n).min(k) > cutoff {
+        m /= 2;
+        n /= 2;
+        k /= 2;
+        l += 1;
+    }
+    l
+}
+
+fn matrix_int(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = srumma_dense::Rng::new(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            *m.as_mut().at_mut(i, j) = rng.range(0, 9) as f64 - 4.0;
+        }
+    }
+    m
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_pair(
+    ta: Op,
+    tb: Op,
+    alpha: f64,
+    beta: f64,
+    a: &Matrix,
+    b: &Matrix,
+    c0: &Matrix,
+    cutoff: usize,
+) -> (Matrix, Matrix) {
+    let mut ws_blocked = GemmWorkspace::with_kernel(Microkernel::Scalar);
+    let mut ws_strassen =
+        GemmWorkspace::with_kernel(Microkernel::Scalar).with_strassen(Some(cutoff));
+    let mut want = c0.clone();
+    dgemm_ws(
+        ta,
+        tb,
+        alpha,
+        a.as_ref(),
+        b.as_ref(),
+        beta,
+        want.as_mut(),
+        &mut ws_blocked,
+    );
+    let mut got = c0.clone();
+    dgemm_ws(
+        ta,
+        tb,
+        alpha,
+        a.as_ref(),
+        b.as_ref(),
+        beta,
+        got.as_mut(),
+        &mut ws_strassen,
+    );
+    (got, want)
+}
+
+/// Small-integer inputs, integer alpha/beta: Strassen's sums and
+/// differences stay exactly representable, so the routes agree
+/// bitwise. Shapes force 1–2 recursion levels plus peeling.
+#[test]
+fn strassen_is_bitwise_exact_on_small_integers() {
+    for &(m, n, k) in &[
+        (64usize, 64usize, 64usize),
+        (65, 64, 63),
+        (96, 80, 112),
+        (130, 70, 90),
+    ] {
+        let (ar, ac) = (m, k);
+        let (br, bc) = (k, n);
+        let a = matrix_int(ar, ac, 0x57A5_0001 + m as u64);
+        let b = matrix_int(br, bc, 0x57A5_0002 + n as u64);
+        let c0 = matrix_int(m, n, 0x57A5_0003 + k as u64);
+        let (got, want) = run_pair(Op::N, Op::N, 2.0, -1.0, &a, &b, &c0, 32);
+        for i in 0..m {
+            for j in 0..n {
+                let (g, w) = (got.as_ref().at(i, j), want.as_ref().at(i, j));
+                assert!(
+                    g.to_bits() == w.to_bits(),
+                    "{m}x{n}x{k} C[{i}][{j}]: strassen {g} != blocked {w} (integer inputs \
+                     must be bitwise-exact)"
+                );
+            }
+        }
+    }
+}
+
+/// Random float inputs across shapes, transposes and scalars: equal up
+/// to a `k`-scaled tolerance with `4^levels` Strassen headroom.
+#[test]
+fn strassen_matches_blocked_within_scaled_tolerance() {
+    for case in 0..16u64 {
+        let mut rng = srumma_dense::Rng::new(0x57A5_F10A + case);
+        let m = rng.range(30, 200);
+        let n = rng.range(30, 200);
+        let k = rng.range(30, 200);
+        let cutoff = 32;
+        let (ta, tb) = (
+            if rng.chance(0.5) { Op::N } else { Op::T },
+            if rng.chance(0.5) { Op::N } else { Op::T },
+        );
+        let alpha = rng.unit() * 2.0 - 1.0;
+        let beta = rng.unit();
+        let (ar, ac) = match ta {
+            Op::N => (m, k),
+            Op::T => (k, m),
+        };
+        let (br, bc) = match tb {
+            Op::N => (k, n),
+            Op::T => (n, k),
+        };
+        let a = Matrix::random(ar, ac, case * 3 + 1);
+        let b = Matrix::random(br, bc, case * 3 + 2);
+        let c0 = Matrix::random(m, n, case * 3 + 3);
+        let (got, want) = run_pair(ta, tb, alpha, beta, &a, &b, &c0, cutoff);
+        let err = srumma_dense::max_abs_diff(&got, &want);
+        let headroom = 4f64.powi(levels(m, n, k, cutoff) as i32);
+        let tol = headroom * (1e-13 * k as f64 + 1e-12);
+        assert!(
+            err <= tol,
+            "case {case}: {m}x{n}x{k} {ta:?}{tb:?} err {err} > tol {tol}"
+        );
+    }
+}
+
+/// `m = n = k = cutoff ± 1` straddles the leaf predicate. At
+/// `cutoff - 1` and `cutoff` the recursion must leaf immediately (the
+/// result is then definitionally identical to blocked — asserted
+/// bitwise); at `cutoff + 1` it must take exactly one split, with odd
+/// dimensions peeled.
+#[test]
+fn strassen_cutoff_edges_recurse_correctly() {
+    let cutoff = 48;
+    for &d in &[cutoff - 1, cutoff, cutoff + 1] {
+        let a = Matrix::random(d, d, 7);
+        let b = Matrix::random(d, d, 8);
+        let c0 = Matrix::random(d, d, 9);
+        let (got, want) = run_pair(Op::N, Op::T, 1.5, 0.5, &a, &b, &c0, cutoff);
+        let err = srumma_dense::max_abs_diff(&got, &want);
+        if d <= cutoff {
+            // Leaf immediately: the Strassen route *is* the blocked
+            // route, so even floats must agree bitwise.
+            assert!(
+                err == 0.0,
+                "d={d} <= cutoff={cutoff} must be a pure leaf, got err {err}"
+            );
+        } else {
+            let tol = 4.0 * (1e-13 * d as f64 + 1e-12);
+            assert!(err <= tol, "d={d} cutoff={cutoff}: err {err} > tol {tol}");
+        }
+    }
+}
+
+/// Every available kernel flavor agrees with the scalar blocked oracle
+/// through the Strassen route — kernel choice and recursion compose.
+#[test]
+fn strassen_is_correct_under_every_available_kernel() {
+    let (m, n, k) = (100usize, 90usize, 110usize);
+    let a = Matrix::random(m, k, 21);
+    let b = Matrix::random(k, n, 22);
+    let c0 = Matrix::random(m, n, 23);
+
+    let mut ws_oracle = GemmWorkspace::with_kernel(Microkernel::Scalar);
+    let mut want = c0.clone();
+    dgemm_ws(
+        Op::N,
+        Op::N,
+        1.0,
+        a.as_ref(),
+        b.as_ref(),
+        0.0,
+        want.as_mut(),
+        &mut ws_oracle,
+    );
+
+    for &kernel in Microkernel::all() {
+        if !kernel.available() {
+            eprintln!("skipping {}: not available on this host", kernel.name());
+            continue;
+        }
+        let mut ws = GemmWorkspace::with_kernel(kernel).with_strassen(Some(32));
+        let mut got = c0.clone();
+        dgemm_ws(
+            Op::N,
+            Op::N,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            got.as_mut(),
+            &mut ws,
+        );
+        let err = srumma_dense::max_abs_diff(&got, &want);
+        let tol = 16.0 * (1e-13 * k as f64 + 1e-12);
+        assert!(
+            err <= tol,
+            "kernel {}: err {err} > tol {tol}",
+            kernel.name()
+        );
+    }
+}

@@ -44,6 +44,7 @@ fn random_srumma(rng: &mut Rng) -> SrummaOptions {
             ShmemFlavor::ForceCopy,
             ShmemFlavor::ForceDirect,
         ]),
+        gemm: None,
     }
 }
 
