@@ -83,7 +83,14 @@ fn parse_args() -> Config {
 /// `+1` if larger is better, `-1` if smaller is better, `0` unknown.
 fn direction(key: &str) -> i32 {
     const HIGHER: &[&str] = &["gflops", "overlap", "bandwidth", "speedup", "tasks"];
-    const LOWER: &[&str] = &["stall", "skew", "makespan", "seconds", "time"];
+    const LOWER: &[&str] = &[
+        "stall",
+        "skew",
+        "makespan",
+        "seconds",
+        "time",
+        "degradation",
+    ];
     if HIGHER.iter().any(|w| key.contains(w)) {
         1
     } else if LOWER.iter().any(|w| key.contains(w)) {

@@ -144,6 +144,25 @@ struct FenceSt {
     completed: u64,
     /// Parked ranks: `(rank, fence awaited)`.
     waiters: Vec<(usize, u64)>,
+    /// Ranks whose fence obligations have been retired (declared dead
+    /// under fault injection): the frontier ignores them so batches
+    /// drain instead of waiting forever on arrivals that cannot come.
+    retired: Vec<bool>,
+}
+
+impl FenceSt {
+    /// The completion frontier over **live** ranks: `min(arrived)`
+    /// among non-retired ranks. With every rank retired there is no one
+    /// left to wait for, so every fence counts as complete.
+    fn frontier(&self) -> u64 {
+        self.arrived
+            .iter()
+            .zip(&self.retired)
+            .filter(|&(_, &dead)| !dead)
+            .map(|(&a, _)| a)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
 }
 
 /// The shared scheduler: everything both `ExecComm` and the workers
@@ -211,6 +230,7 @@ impl SchedCore {
                 arrived: vec![0; nranks],
                 completed: 0,
                 waiters: Vec::new(),
+                retired: vec![false; nranks],
             }),
             mail: (0..nranks).map(|_| Mutex::new(VecDeque::new())).collect(),
             remaining: AtomicUsize::new(nranks),
@@ -372,12 +392,16 @@ impl SchedCore {
         let mut b = relock(&self.fences);
         let fence = b.arrived[id];
         b.arrived[id] += 1;
-        let frontier = b.arrived.iter().copied().min().unwrap_or(0);
+        self.fence_advance(b);
+        fence
+    }
+
+    /// Recompute the live frontier and release any waiters now behind
+    /// it (wake after dropping the lock — wake() takes per-task locks).
+    fn fence_advance(&self, mut b: MutexGuard<'_, FenceSt>) {
+        let frontier = b.frontier();
         if frontier > b.completed {
             b.completed = frontier;
-            // This arrival completed one or more fences: release every
-            // waiter now behind the frontier (wake after dropping the
-            // lock — wake() takes per-task locks).
             let mut woken = Vec::new();
             b.waiters.retain(|&(rank, f)| {
                 if f < frontier {
@@ -392,7 +416,20 @@ impl SchedCore {
                 self.wake(w);
             }
         }
-        fence
+    }
+
+    /// Retire a dead rank's fence obligations: it is removed from every
+    /// current and future fence quorum, so in-flight batches drain
+    /// instead of hanging on arrivals that can never come. Idempotent.
+    /// Note this releases *synchronization* only — re-executing the
+    /// dead rank's outstanding work is the chaos rank task's job.
+    fn retire_rank(&self, rank: usize) {
+        let mut b = relock(&self.fences);
+        if b.retired[rank] {
+            return;
+        }
+        b.retired[rank] = true;
+        self.fence_advance(b);
     }
 
     /// Whether fence `f` has completed; if not, register `id` as a
@@ -524,13 +561,45 @@ impl ExecComm {
         self.core.fence_check(self.rank, f)
     }
 
+    /// Arrive at the next fence **on behalf of another rank** — the
+    /// re-execution protocol's proxy arrival: a survivor that has
+    /// finished a dead rank's outstanding tasks discharges that rank's
+    /// barrier obligation for it, so the closing fence cannot complete
+    /// before the re-executed work has actually been done.
+    pub fn fence_arrive_for(&mut self, rank: usize) -> u64 {
+        self.core.fence_arrive(rank)
+    }
+
+    /// Retire `rank` from every current and future fence quorum
+    /// (fail-stop death with **no** re-execution — batches drain, but
+    /// nobody vouches for the dead rank's unfinished work). Prefer
+    /// [`Self::fence_arrive_for`] when survivors re-execute.
+    pub fn fence_retire(&mut self, rank: usize) {
+        self.core.retire_rank(rank);
+    }
+
+    /// Wake every other rank (a dying rank calls this after publishing
+    /// its orphaned work, so parked survivors re-check for it).
+    pub fn wake_peers(&mut self) {
+        for r in 0..self.nranks {
+            if r != self.rank {
+                self.core.wake(r);
+            }
+        }
+    }
+
     /// Nonblocking barrier for state-machine ranks: arrive on the first
     /// call, then poll. Returns `true` once the barrier has passed —
     /// until then the caller should return [`Step::Park`] (the poll
     /// registered it as a waiter). Built on the fence machinery: a full
     /// barrier is an arrival immediately followed by a wait on the same
-    /// fence.
+    /// fence. Panics when the executor has been poisoned, mirroring the
+    /// gated threads' `gate_wait_grant` — a parked FSM rank re-stepped
+    /// after a peer's panic must unwind, not re-park.
     pub fn barrier_try(&mut self) -> bool {
+        if self.core.is_poisoned() {
+            panic!("executor poisoned: another rank panicked");
+        }
         match self.arrived {
             Some((f, t0)) => {
                 if self.core.fence_check(self.rank, f) {
@@ -1072,4 +1141,86 @@ where
     });
     let wall = t_run.elapsed().as_secs_f64();
     assemble(&core, outputs, collect, busy, wall)
+}
+
+#[cfg(test)]
+mod tests {
+    //! Epoch/generation counter edges under fault injection: these need
+    //! the private `SchedCore`, so they live here rather than in the
+    //! integration suite.
+    use super::*;
+
+    #[test]
+    fn retiring_a_dead_rank_completes_its_pending_fences() {
+        let core = SchedCore::new(3, 1, false);
+        // Mid-batch: ranks 0 and 1 arrive at fence 0, rank 2 is dead
+        // and never will. The fence must not complete yet...
+        assert_eq!(core.fence_arrive(0), 0);
+        assert_eq!(core.fence_arrive(1), 0);
+        assert!(!core.fence_check(0, 0));
+        // ...until the dead rank's obligations are retired, which both
+        // completes fence 0 and removes rank 2 from future quorums.
+        core.retire_rank(2);
+        assert!(core.fence_check(0, 0));
+        assert_eq!(core.fence_arrive(0), 1);
+        assert_eq!(core.fence_arrive(1), 1);
+        assert!(core.fence_check(1, 1), "retired rank gates no later fence");
+    }
+
+    #[test]
+    fn retirement_releases_parked_waiters() {
+        let core = SchedCore::new(2, 1, false);
+        core.fence_arrive(0);
+        // Rank 0 is parked waiting on fence 0; rank 1 dies without
+        // arriving. Retirement must move the waiter back to the queue
+        // (the batch-drain path: survivors resume instead of hanging).
+        assert!(!core.fence_check(0, 0));
+        relock(&core.tasks[0].st).phase = Phase::Parked;
+        core.retire_rank(1);
+        assert_eq!(relock(&core.tasks[0].st).phase, Phase::Queued);
+        assert!(core.fence_check(0, 0));
+        // Idempotent: retiring again neither panics nor double-wakes.
+        core.retire_rank(1);
+    }
+
+    #[test]
+    fn proxy_arrival_discharges_a_dead_ranks_barrier() {
+        let core = SchedCore::new(3, 1, false);
+        // Ranks 0 and 1 arrive; rank 2 is dead. A survivor vouches for
+        // it via fence_arrive(dead) — the re-execution handshake.
+        core.fence_arrive(0);
+        core.fence_arrive(1);
+        assert!(!core.fence_check(0, 0));
+        assert_eq!(core.fence_arrive(2), 0, "proxy arrival uses rank 2's count");
+        assert!(core.fence_check(0, 0));
+        assert!(core.fence_check(1, 0));
+    }
+
+    #[test]
+    fn all_ranks_retired_completes_everything() {
+        let core = SchedCore::new(2, 1, false);
+        core.retire_rank(0);
+        core.retire_rank(1);
+        assert!(core.fence_check(0, 0));
+        assert!(core.fence_check(1, 41));
+    }
+
+    #[test]
+    fn barrier_try_after_poison_panics_instead_of_parking() {
+        let core = SchedCore::new(2, 1, false);
+        let mut comm = ExecComm::new(Arc::clone(&core), 0, TaskMode::Fsm);
+        assert!(!comm.barrier_try(), "one arrival out of two cannot pass");
+        core.poison(Box::new("boom"));
+        let err = catch_unwind(AssertUnwindSafe(|| comm.barrier_try()))
+            .expect_err("a parked rank re-stepped after poison must unwind");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("executor poisoned"),
+            "unexpected panic message: {msg}"
+        );
+    }
 }

@@ -31,12 +31,15 @@
 //! * [`deque`] — the Chase–Lev work-stealing deque under the executor.
 //! * [`mpi`] — two-sided collectives (broadcast, shift, allgather) built
 //!   on `Comm::send`/`Comm::recv`, used by the baselines.
+//! * [`fault`] — seeded fault injection ([`FaultPlan`]) and the
+//!   [`ChaosComm`] decorator for wall-clock backends.
 
 pub mod arena;
 pub mod comm;
 pub mod deque;
 pub mod dist;
 pub mod exec;
+pub mod fault;
 pub mod mpi;
 pub mod simbackend;
 pub mod threadbackend;
@@ -47,5 +50,6 @@ pub use dist::DistMatrix;
 pub use exec::{
     exec_run, exec_run_tasks, exec_run_traced, ExecComm, ExecRunResult, RankTask, Step,
 };
+pub use fault::{ChaosComm, FaultPlan, RankDeath};
 pub use simbackend::{sim_run, ComputeMode, SimComm, SimOptions};
 pub use threadbackend::{thread_run, thread_run_traced, ThreadComm, ThreadRunResult};

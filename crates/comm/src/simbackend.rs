@@ -8,6 +8,7 @@
 
 use crate::comm::{Comm, GetHandle};
 use crate::dist::DistMatrix;
+use crate::fault::FaultPlan;
 use srumma_dense::{dgemm_ws, GemmConfig, GemmWorkspace, MatMut, MatRef, Op};
 use srumma_model::network::Path;
 use srumma_model::{protocol, Machine, Topology, TransferCost};
@@ -23,6 +24,12 @@ pub struct SimOptions {
     pub nranks: usize,
     /// Record a trace timeline.
     pub trace: bool,
+    /// Injected faults, applied in **virtual time** (see
+    /// [`crate::fault`]): a straggler's compute charges and the
+    /// two-sided messages it touches scale by its factor, spiked gets
+    /// gain modeled latency. Deaths are rejected here — fail-stop is an
+    /// executor-scheduling event the simulator does not model.
+    pub fault: FaultPlan,
 }
 
 impl SimOptions {
@@ -32,6 +39,7 @@ impl SimOptions {
             machine,
             nranks,
             trace: false,
+            fault: FaultPlan::healthy(),
         }
     }
 
@@ -41,7 +49,20 @@ impl SimOptions {
             machine,
             nranks,
             trace: true,
+            fault: FaultPlan::healthy(),
         }
+    }
+
+    /// Apply a fault plan (stragglers + get spikes) in virtual time.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        assert!(
+            plan.death.is_none(),
+            "the sim backend applies stragglers and spikes only; rank death \
+             needs the executor's re-execution machinery"
+        );
+        plan.validate(self.nranks);
+        self.fault = plan;
+        self
     }
 }
 
@@ -70,11 +91,63 @@ pub struct SimComm {
     /// Per-rank gemm packing workspace, reused across every real-backed
     /// `gemm` this rank executes.
     ws: GemmWorkspace,
+    /// Injected faults, applied in virtual time.
+    fault: FaultPlan,
+    /// Gets issued so far (indexes the deterministic spike schedule).
+    gets_issued: u64,
+}
+
+/// Stretch every time component of a message cost by `f` (two-sided
+/// traffic touching a straggler: both hosts' progress engines are in
+/// the critical path, so the whole message slows down).
+fn scale_cost(mut cost: TransferCost, f: f64) -> TransferCost {
+    if f > 1.0 {
+        cost.latency *= f;
+        cost.initiator_cpu *= f;
+        cost.remote_cpu *= f;
+        cost.wire *= f;
+        cost.membw *= f;
+    }
+    cost
 }
 
 impl SimComm {
     fn membw_group(&self, rank: usize) -> usize {
         rank / self.machine.shm.membw_group_size.max(1)
+    }
+
+    /// Fault model for **one-sided** gets/puts: only the initiator-side
+    /// work (CPU issue cost, the initiator-driven copy) slows down with
+    /// the initiator's own factor. The *target* never appears here — a
+    /// straggling host still serves remote gets at full speed, because
+    /// the NIC/memory system satisfies them without its CPU (the
+    /// paper's asymmetry, and the mechanism behind SRUMMA's graceful
+    /// degradation).
+    fn fault_onesided(&mut self, mut cost: TransferCost) -> TransferCost {
+        let f = self.fault.slow_factor(self.proc.rank());
+        if f > 1.0 {
+            cost.initiator_cpu *= f;
+            cost.membw *= f;
+        }
+        let spike = self.fault.get_spike(self.proc.rank(), self.gets_issued);
+        self.gets_issued += 1;
+        if spike > 0.0 {
+            cost.latency += spike;
+            self.recorder.count_delay();
+        }
+        cost
+    }
+
+    /// Fault factor for **two-sided** traffic with `peer`: MPI progress
+    /// is host-driven at both endpoints, so the slower one gates the
+    /// message.
+    fn fault_msg(&self, peer: usize) -> f64 {
+        self.fault.msg_factor(self.proc.rank(), peer)
+    }
+
+    /// A straggler's own host copies (eager buffer staging) also slow.
+    fn fault_self(&self) -> f64 {
+        self.fault.slow_factor(self.proc.rank())
     }
 
     /// The underlying simulator handle (exposed for harness-level
@@ -176,6 +249,7 @@ impl Comm for SimComm {
             // a copy of one's own block costs a local memcpy.
             let bytes = (rows * cols * 8) as u64;
             let cost = protocol::shm_copy(&self.machine, bytes as usize, false);
+            let cost = self.fault_onesided(cost);
             let id = self.proc.issue_transfer(TransferSpec {
                 cost,
                 src_rank: me,
@@ -193,6 +267,7 @@ impl Comm for SimComm {
         } else {
             protocol::rma_get(&self.machine, bytes as usize)
         };
+        let cost = self.fault_onesided(cost);
         let id = self.proc.issue_transfer(TransferSpec {
             cost,
             src_rank: owner,
@@ -290,7 +365,9 @@ impl Comm for SimComm {
         } else {
             1.0
         };
-        self.proc.charge_compute(base / factor, label);
+        // A straggler's compute stretches by its slowdown factor.
+        self.proc
+            .charge_compute(base / factor * self.fault_self(), label);
         if let (Some(a), Some(b), Some(c)) = (a, b, c) {
             dgemm_ws(ta, tb, alpha, a, b, 1.0, c, &mut self.ws);
         }
@@ -306,7 +383,10 @@ impl Comm for SimComm {
             // progress channel (Path::ShmChannel). Large messages pay
             // the rendezvous handshake here too — intra-node MPI was
             // no less synchronous in 2004.
-            let cost = protocol::mpi_send_recv(&mach, bytes as usize, true);
+            let cost = scale_cost(
+                protocol::mpi_send_recv(&mach, bytes as usize, true),
+                self.fault_msg(dst),
+            );
             if bytes as usize > mach.net.eager_threshold {
                 self.proc.pair_sync(Self::pair_key(me, dst, tag));
                 let id = self.proc.issue_transfer(TransferSpec {
@@ -333,30 +413,36 @@ impl Comm for SimComm {
         } else if bytes as usize <= mach.net.eager_threshold {
             // Eager: copy into a system buffer, NIC drains it.
             self.proc
-                .advance(bytes as f64 / mach.net.host_copy_bandwidth);
-            let cost = TransferCost {
-                latency: mach.net.mpi_latency,
-                initiator_cpu: 0.0,
-                remote_cpu: 0.0,
-                wire: bytes as f64 / mach.net.mpi_bandwidth,
-                membw: 0.0,
-                path: Path::Network,
-                async_fraction: 0.9,
-            };
+                .advance(bytes as f64 / mach.net.host_copy_bandwidth * self.fault_self());
+            let cost = scale_cost(
+                TransferCost {
+                    latency: mach.net.mpi_latency,
+                    initiator_cpu: 0.0,
+                    remote_cpu: 0.0,
+                    wire: bytes as f64 / mach.net.mpi_bandwidth,
+                    membw: 0.0,
+                    path: Path::Network,
+                    async_fraction: 0.9,
+                },
+                self.fault_msg(dst),
+            );
             self.post_message(dst, tag, data, bytes, cost, "mpi-eager");
         } else {
             // Rendezvous: handshake with the receiver, then a transfer
             // the host must keep driving (poor overlap — Figure 7).
             self.proc.pair_sync(Self::pair_key(me, dst, tag));
-            let cost = TransferCost {
-                latency: 3.0 * mach.net.mpi_latency,
-                initiator_cpu: 0.0,
-                remote_cpu: 0.0,
-                wire: bytes as f64 / mach.net.mpi_bandwidth,
-                membw: 0.0,
-                path: Path::Network,
-                async_fraction: mach.net.rndv_progress_fraction,
-            };
+            let cost = scale_cost(
+                TransferCost {
+                    latency: 3.0 * mach.net.mpi_latency,
+                    initiator_cpu: 0.0,
+                    remote_cpu: 0.0,
+                    wire: bytes as f64 / mach.net.mpi_bandwidth,
+                    membw: 0.0,
+                    path: Path::Network,
+                    async_fraction: mach.net.rndv_progress_fraction,
+                },
+                self.fault_msg(dst),
+            );
             let id = self.proc.issue_transfer(TransferSpec {
                 cost,
                 src_rank: me,
@@ -395,7 +481,7 @@ impl Comm for SimComm {
         // path only; the shm-channel rate already covers both copies).
         if !same && bytes as usize <= mach.net.eager_threshold {
             self.proc
-                .advance(bytes as f64 / mach.net.host_copy_bandwidth);
+                .advance(bytes as f64 / mach.net.host_copy_bandwidth * self.fault_self());
         }
     }
 
@@ -418,20 +504,26 @@ impl Comm for SimComm {
         if self.same_domain(dst) {
             // Buffered exchange: full shm-channel cost, no handshake
             // (MPI_Sendrecv must not deadlock on a ring).
-            let cost = protocol::mpi_send_recv(&mach, send_bytes as usize, true);
+            let cost = scale_cost(
+                protocol::mpi_send_recv(&mach, send_bytes as usize, true),
+                self.fault_msg(dst),
+            );
             self.post_message(dst, tag, send_data, send_bytes, cost, "xchg-shm");
         } else {
             self.proc
-                .advance(send_bytes as f64 / mach.net.host_copy_bandwidth);
-            let cost = TransferCost {
-                latency: mach.net.mpi_latency,
-                initiator_cpu: 0.0,
-                remote_cpu: 0.0,
-                wire: send_bytes as f64 / mach.net.mpi_bandwidth,
-                membw: 0.0,
-                path: Path::Network,
-                async_fraction: 0.9,
-            };
+                .advance(send_bytes as f64 / mach.net.host_copy_bandwidth * self.fault_self());
+            let cost = scale_cost(
+                TransferCost {
+                    latency: mach.net.mpi_latency,
+                    initiator_cpu: 0.0,
+                    remote_cpu: 0.0,
+                    wire: send_bytes as f64 / mach.net.mpi_bandwidth,
+                    membw: 0.0,
+                    path: Path::Network,
+                    async_fraction: 0.9,
+                },
+                self.fault_msg(dst),
+            );
             self.post_message(dst, tag, send_data, send_bytes, cost, "xchg-net");
         }
         let same_src = self.same_domain(src);
@@ -440,7 +532,7 @@ impl Comm for SimComm {
         recv_buf.extend_from_slice(&msg.payload);
         if !same_src {
             self.proc
-                .advance(recv_bytes as f64 / mach.net.host_copy_bandwidth);
+                .advance(recv_bytes as f64 / mach.net.host_copy_bandwidth * self.fault_self());
         }
     }
 }
@@ -471,6 +563,7 @@ where
     };
     let machine = &opts.machine;
     let trace = opts.trace;
+    let fault = &opts.fault;
     let res = run_sim(cfg, move |proc| {
         let rank = proc.rank();
         let mut comm = SimComm {
@@ -479,6 +572,8 @@ where
             outstanding: Vec::new(),
             recorder: Recorder::new(rank, trace),
             ws: GemmWorkspace::new(),
+            fault: fault.clone(),
+            gets_issued: 0,
         };
         let out = body(&mut comm);
         let (events, counters) = comm.recorder.take();
@@ -715,6 +810,89 @@ mod tests {
             let n = res.outputs.len();
             assert_eq!(*v, ((r + n - 1) % n) as f64);
         }
+    }
+
+    #[test]
+    fn straggler_slows_own_compute_but_still_serves_gets_at_full_speed() {
+        // The fault model's load-bearing asymmetry: a 4× straggler's
+        // *own* gemm charge stretches 4×, but a healthy peer fetching
+        // the straggler's block over the one-sided path pays exactly
+        // the healthy price (the NIC serves it, not the slow host).
+        let run = |opts: &SimOptions| {
+            let grid = ProcGrid::new(4, 4);
+            let mat = DistMatrix::create_virtual(grid, 2048, 2048);
+            sim_run(opts, |c| {
+                if c.rank() == 0 {
+                    let t0 = c.now();
+                    c.gemm(
+                        Op::N,
+                        Op::N,
+                        256,
+                        256,
+                        256,
+                        1.0,
+                        None,
+                        None,
+                        None,
+                        false,
+                        "g",
+                    );
+                    c.now() - t0
+                } else if c.rank() == 2 {
+                    // Rank 2 is on another node: remote RMA get from 0.
+                    let t0 = c.now();
+                    let mut buf = Vec::new();
+                    c.get(&mat, 0, &mut buf);
+                    c.now() - t0
+                } else {
+                    0.0
+                }
+            })
+        };
+        let healthy = run(&linux16());
+        let faulty =
+            run(&linux16().with_faults(crate::fault::FaultPlan::single_straggler(16, 0, 4.0)));
+        let (hc, hg) = (healthy.outputs[0], healthy.outputs[2]);
+        let (fc, fg) = (faulty.outputs[0], faulty.outputs[2]);
+        assert!(
+            (fc / hc - 4.0).abs() < 1e-9,
+            "straggler compute {fc} should be 4x healthy {hc}"
+        );
+        assert!(
+            (fg - hg).abs() < 1e-12,
+            "get served by the straggler cost {fg}, healthy {hg} — one-sided \
+             service must not slow down"
+        );
+    }
+
+    #[test]
+    fn spiked_gets_add_latency_deterministically() {
+        let grid = ProcGrid::new(4, 4);
+        let mat = DistMatrix::create_virtual(grid, 2048, 2048);
+        let run = |plan: FaultPlan| {
+            sim_run(&linux16().with_faults(plan), |c| {
+                let mut t = 0.0;
+                for owner in 0..c.nranks() {
+                    let t0 = c.now();
+                    let mut buf = Vec::new();
+                    c.get(&mat, owner, &mut buf);
+                    t += c.now() - t0;
+                }
+                t
+            })
+        };
+        let plan = FaultPlan::random_stragglers(7, 16).with_get_spikes(0.5, 0.25);
+        let a = run(plan.clone());
+        let b = run(plan);
+        let healthy = run(FaultPlan::healthy());
+        assert_eq!(
+            a.outputs, b.outputs,
+            "same plan must reproduce identical virtual times"
+        );
+        assert!(
+            a.outputs.iter().sum::<f64>() > healthy.outputs.iter().sum::<f64>() + 0.2,
+            "spikes should visibly lengthen get time"
+        );
     }
 
     #[test]

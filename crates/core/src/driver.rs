@@ -9,12 +9,13 @@
 //!   scale: returns only timing/statistics.
 
 use crate::api::{parallel_gemm, Algorithm};
+use crate::chaos::{ChaosRecovery, ChaosSrummaRankTask};
 use crate::layout::{dist_a, dist_b, dist_c, scatter_operands, set_a_mask, set_b_mask};
 use crate::options::{GemmSpec, SrummaOptions};
 use crate::srumma::{srumma, SrummaRankTask, SrummaReport};
 use srumma_comm::{
-    exec_run, exec_run_tasks, exec_run_traced, sim_run, thread_run, thread_run_traced,
-    ExecRunResult, SimOptions,
+    exec_run, exec_run_tasks, exec_run_traced, sim_run, thread_run, thread_run_traced, ChaosComm,
+    ExecRunResult, FaultPlan, SimOptions,
 };
 use srumma_dense::{BlockMask, Matrix};
 use srumma_model::{Machine, ProcGrid};
@@ -225,6 +226,122 @@ fn multiply_exec_inner(
     (dc.gather(), res)
 }
 
+/// [`multiply_verified`] under a [`FaultPlan`]: real data under the
+/// simulated `machine` with stragglers and get spikes applied in
+/// virtual time. Deterministic — the same plan yields bit-identical
+/// stats and C on every run. Plans with a rank death are rejected
+/// (death needs the executor's re-execution machinery).
+pub fn multiply_verified_chaos(
+    machine: &Machine,
+    nranks: usize,
+    alg: &Algorithm,
+    spec: &GemmSpec,
+    a: &Matrix,
+    b: &Matrix,
+    plan: &FaultPlan,
+) -> (Matrix, RunStats) {
+    let grid = default_grid(nranks);
+    let da = dist_a(spec, grid, true);
+    let db = dist_b(spec, grid, true);
+    let dc = dist_c(spec, grid, true);
+    scatter_operands(spec, &da, &db, a, b);
+    let opts = SimOptions::new(machine.clone(), nranks).with_faults(plan.clone());
+    let res = sim_run(&opts, |comm| {
+        parallel_gemm(comm, alg, spec, &da, &db, &dc);
+    });
+    (dc.gather(), res.stats)
+}
+
+/// [`measure_modeled`] under a [`FaultPlan`]: virtual matrices at paper
+/// scale with injected stragglers/spikes, returning statistics only —
+/// the degradation benchmark's workhorse.
+pub fn measure_chaos(
+    machine: &Machine,
+    nranks: usize,
+    alg: &Algorithm,
+    spec: &GemmSpec,
+    plan: &FaultPlan,
+) -> RunStats {
+    let grid = default_grid(nranks);
+    let da = dist_a(spec, grid, false);
+    let db = dist_b(spec, grid, false);
+    let dc = dist_c(spec, grid, false);
+    let opts = SimOptions::new(machine.clone(), nranks).with_faults(plan.clone());
+    sim_run(&opts, |comm| {
+        parallel_gemm(comm, alg, spec, &da, &db, &dc);
+    })
+    .stats
+}
+
+/// [`multiply_threads`] (SRUMMA only) under a [`FaultPlan`]: each rank
+/// thread wraps its communicator in a [`ChaosComm`], so stragglers and
+/// spiked gets become real sleeps. Wall timing is noisy but the fault
+/// *schedule* is deterministic. Plans with a rank death are rejected.
+pub fn multiply_threads_chaos(
+    nranks: usize,
+    opts: &SrummaOptions,
+    spec: &GemmSpec,
+    a: &Matrix,
+    b: &Matrix,
+    plan: &FaultPlan,
+) -> (Matrix, f64) {
+    assert!(
+        plan.death.is_none(),
+        "rank death needs the executor backend (multiply_exec_chaos)"
+    );
+    plan.validate(nranks);
+    let grid = default_grid(nranks);
+    let da = dist_a(spec, grid, true);
+    let db = dist_b(spec, grid, true);
+    let dc = dist_c(spec, grid, true);
+    scatter_operands(spec, &da, &db, a, b);
+    let res = thread_run(nranks, |comm| {
+        let mut chaos = ChaosComm::new(&mut *comm, plan.clone());
+        srumma(&mut chaos, spec, &da, &db, &dc, opts);
+    });
+    (dc.gather(), res.wall_seconds)
+}
+
+/// [`multiply_exec`] (SRUMMA only) under a full [`FaultPlan`] —
+/// including fail-stop rank death with task re-execution: the dying
+/// rank publishes its machine to a [`ChaosRecovery`] queue, a survivor
+/// drives it to completion and discharges the dead rank's barrier
+/// obligation by proxy. The gathered C is exactly the healthy result.
+/// Per-rank reports are partial for the dead rank; the claimant's
+/// trace counters carry `tasks_reexecuted`.
+pub fn multiply_exec_chaos(
+    nranks: usize,
+    workers: usize,
+    opts: &SrummaOptions,
+    spec: &GemmSpec,
+    a: &Matrix,
+    b: &Matrix,
+    plan: &FaultPlan,
+) -> (Matrix, ExecRunResult<SrummaReport>) {
+    plan.validate(nranks);
+    let grid = default_grid(nranks);
+    let da = dist_a(spec, grid, true);
+    let db = dist_b(spec, grid, true);
+    let dc = dist_c(spec, grid, true);
+    scatter_operands(spec, &da, &db, a, b);
+    // Declared after the matrices: any unclaimed machine (borrowing
+    // them) drops with the queue first.
+    let recovery = ChaosRecovery::new();
+    let res = exec_run_tasks(nranks, workers, false, |comm| {
+        Box::new(ChaosSrummaRankTask::new(
+            comm,
+            spec,
+            &da,
+            &db,
+            &dc,
+            opts,
+            plan.clone(),
+            &recovery,
+        ))
+    });
+    (dc.gather(), res)
+}
+
 /// Logical block masks for a sparse multiply. `a` is `grid.p × kparts`
 /// over the logical `m × k` operand, `b` is `kparts × grid.q` over the
 /// logical `k × n` operand ([`crate::layout::set_a_mask`] resolves the
@@ -322,6 +439,35 @@ pub fn multiply_verified_sparse(
     scatter_operands(spec, &da, &db, a, b);
     masks.apply(spec, &mut da, &mut db);
     let sim_opts = SimOptions::new(machine.clone(), nranks);
+    let res = sim_run(&sim_opts, |comm| {
+        srumma(comm, spec, &da, &db, &dc, opts);
+    });
+    (dc.gather(), res.stats)
+}
+
+/// Block-sparse [`multiply_verified_chaos`]: masked task generation
+/// *and* injected stragglers/spikes under the simulator. The pruning
+/// edge this exercises: a rank whose every task is masked still holds
+/// every fence, even when a straggler plan delays the ranks it waits
+/// on. Plans with a rank death are rejected by `with_faults`.
+#[allow(clippy::too_many_arguments)]
+pub fn multiply_verified_sparse_chaos(
+    machine: &Machine,
+    nranks: usize,
+    opts: &SrummaOptions,
+    spec: &GemmSpec,
+    a: &Matrix,
+    b: &Matrix,
+    masks: &SparseMasks,
+    plan: &FaultPlan,
+) -> (Matrix, RunStats) {
+    let grid = default_grid(nranks);
+    let mut da = dist_a(spec, grid, true);
+    let mut db = dist_b(spec, grid, true);
+    let dc = dist_c(spec, grid, true);
+    scatter_operands(spec, &da, &db, a, b);
+    masks.apply(spec, &mut da, &mut db);
+    let sim_opts = SimOptions::new(machine.clone(), nranks).with_faults(plan.clone());
     let res = sim_run(&sim_opts, |comm| {
         srumma(comm, spec, &da, &db, &dc, opts);
     });

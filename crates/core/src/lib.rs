@@ -36,6 +36,7 @@
 pub mod api;
 pub mod batch;
 pub mod cannon;
+pub mod chaos;
 pub mod driver;
 pub mod layout;
 pub mod memory;
@@ -49,6 +50,7 @@ pub use batch::{
     batch_serial_reference, multiply_batch, multiply_batch_exec, multiply_batch_sim,
     multiply_batch_traced, BatchEntry, BatchResult, BatchSpec,
 };
+pub use chaos::{ChaosRecovery, ChaosSrummaRankTask};
 pub use driver::SparseMasks;
 pub use options::{GemmSpec, ShmemFlavor, SrummaOptions};
 pub use srumma::{srumma as srumma_gemm, SrummaMachine, SrummaRankTask, SrummaReport};

@@ -522,6 +522,13 @@ impl<'a> SrummaMachine<'a> {
         self.pos < self.order.len()
     }
 
+    /// Snapshot of the report so far, without consuming the machine.
+    /// The fault-injection path uses this to capture a dying rank's
+    /// partial progress before publishing the machine for re-execution.
+    pub fn report(&self) -> SrummaReport {
+        self.report
+    }
+
     /// Release the C write guard and return the report. Call this
     /// *before* the closing barrier — peers may not read C while this
     /// rank's guard is live.
@@ -896,6 +903,50 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// `Pipeline::reset` with a get still in flight would hand the next
+    /// multiply a buffer a transfer is concurrently filling — the guard
+    /// must refuse loudly rather than corrupt data silently.
+    #[test]
+    fn pipeline_reset_with_inflight_get_panics() {
+        let mat = DistMatrix::create(ProcGrid::new(1, 1), 4, 4);
+        let mut comm = CountingComm::new(0, 1);
+        let mut fetched = 0;
+        let mut pipe = Pipeline::new(1);
+        pipe.ensure_issued(&mut comm, &mat, 0, 0, &[0], &mut fetched);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pipe.reset(1)))
+            .expect_err("reset must panic while a get is pending");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("pipeline reset with a get in flight"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    /// Once every pending get is drained, `reset` re-arms cleanly —
+    /// including growing to a deeper pipeline — and keeps no stale
+    /// panel residency from the previous multiply.
+    #[test]
+    fn pipeline_reset_after_drain_rearms_cleanly() {
+        let mat = DistMatrix::create(ProcGrid::new(1, 1), 4, 4);
+        let mut comm = CountingComm::new(0, 1);
+        let mut fetched = 0;
+        let mut pipe = Pipeline::new(1);
+        let s = pipe.ensure_issued(&mut comm, &mat, 0, 0, &[0], &mut fetched);
+        pipe.wait_ready(&mut comm, s);
+        pipe.reset(2); // deeper than before: B1/B2 → three slots
+        assert_eq!(pipe.slots.len(), 3);
+        assert!(
+            pipe.find(0).is_none(),
+            "reset must clear panel residency from the previous multiply"
+        );
+        assert_eq!((comm.issued, comm.completed), (1, 1));
     }
 
     /// Every issued get is eventually waited on across a full multiply,

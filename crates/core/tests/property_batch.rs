@@ -4,12 +4,13 @@
 //! all three backends — host threads, the virtual-time simulator, and
 //! the work-stealing executor including oversubscribed pools. Driven by
 //! the in-repo deterministic [`Rng`] (the workspace builds offline,
-//! without a property-testing framework).
+//! without a property-testing framework). Set `SRUMMA_PROP_SEED` to
+//! pin one case or `SRUMMA_PROP_CASES` to widen the sweep.
 
 use srumma_core::batch::{batch_serial_reference, BatchEntry, BatchSpec};
 use srumma_core::driver::default_grid;
 use srumma_core::{GemmSpec, SrummaOptions};
-use srumma_dense::{max_abs_diff, BlockMask, Matrix, Op, Rng};
+use srumma_dense::{max_abs_diff, prop_rerun, prop_seeds, BlockMask, Matrix, Op, Rng};
 use srumma_model::Machine;
 
 fn random_op(rng: &mut Rng) -> Op {
@@ -86,29 +87,36 @@ fn max_k(batch: &BatchSpec) -> usize {
     batch.entries.iter().map(|e| e.spec.k).max().unwrap_or(0)
 }
 
-fn check(outputs: &[Matrix], batch: &BatchSpec, case: u64, what: &str) {
+fn check(outputs: &[Matrix], batch: &BatchSpec, seed: u64, what: &str, test: &str) {
     let expect = batch_serial_reference(batch);
     let tol = tolerance(max_k(batch));
     for (e, (got, want)) in outputs.iter().zip(&expect).enumerate() {
         let diff = max_abs_diff(got, want);
         assert!(
             diff < tol,
-            "case {case} ({what}): entry {e} ({:?}): |diff|={diff:e} tol={tol:e}",
-            batch.entries[e].spec
+            "seed {seed:#x} ({what}): entry {e} ({:?}): |diff|={diff:e} tol={tol:e}\n{}",
+            batch.entries[e].spec,
+            prop_rerun(seed, test),
         );
     }
 }
 
 #[test]
 fn random_batches_on_threads_match_serial() {
-    for case in 0..16u64 {
-        let mut rng = Rng::new(0xBA7C_0001 + case);
+    for seed in prop_seeds(0xBA7C_0001, 16) {
+        let mut rng = Rng::new(seed);
         let nranks = rng.range(1, 8);
         let batch = random_batch(&mut rng, nranks);
         let res = srumma_core::batch::multiply_batch(&batch, nranks);
-        check(&res.outputs, &batch, case, &format!("threads x{nranks}"));
+        check(
+            &res.outputs,
+            &batch,
+            seed,
+            &format!("threads x{nranks}"),
+            "random_batches_on_threads_match_serial",
+        );
         for &g in &res.ws_grow_counts {
-            assert!(g <= 1, "case {case}: workspace grew {g} times");
+            assert!(g <= 1, "seed {seed:#x}: workspace grew {g} times");
         }
     }
 }
@@ -146,7 +154,13 @@ fn sparse_batch_on_128_ranks_2_workers() {
         batch.push(entry);
     }
     let res = srumma_core::batch::multiply_batch_exec(&batch, nranks, workers);
-    check(&res.outputs, &batch, 0, "sparse exec x128 on 2 workers");
+    check(
+        &res.outputs,
+        &batch,
+        0,
+        "sparse exec x128 on 2 workers",
+        "sparse_batch_on_128_ranks_2_workers",
+    );
     assert!(
         res.stats.tasks_masked_total() > 0,
         "low-density masks pruned nothing"
@@ -159,13 +173,19 @@ fn sparse_batch_on_128_ranks_2_workers() {
 #[test]
 fn random_batches_on_sim_match_serial() {
     let machines = [Machine::linux_myrinet(), Machine::sgi_altix()];
-    for case in 0..8u64 {
-        let mut rng = Rng::new(0xBA7C_0002 + case);
+    for seed in prop_seeds(0xBA7C_0002, 8) {
+        let mut rng = Rng::new(seed);
         let nranks = rng.range(1, 6);
         let batch = random_batch(&mut rng, nranks);
         let machine = rng.pick(&machines);
         let res = srumma_core::batch::multiply_batch_sim(&batch, machine, nranks);
-        check(&res.outputs, &batch, case, &format!("sim x{nranks}"));
+        check(
+            &res.outputs,
+            &batch,
+            seed,
+            &format!("sim x{nranks}"),
+            "random_batches_on_sim_match_serial",
+        );
     }
 }
 
@@ -174,8 +194,8 @@ fn random_batches_on_sim_match_serial() {
 /// reuse discipline is genuinely exercised across interleavings.
 #[test]
 fn random_batches_on_oversubscribed_executor_match_serial() {
-    for case in 0..16u64 {
-        let mut rng = Rng::new(0xBA7C_0003 + case);
+    for seed in prop_seeds(0xBA7C_0003, 16) {
+        let mut rng = Rng::new(seed);
         let nranks = rng.range(2, 12);
         let batch = random_batch(&mut rng, nranks);
         let workers = rng.range(1, (nranks / 2).max(1));
@@ -183,11 +203,12 @@ fn random_batches_on_oversubscribed_executor_match_serial() {
         check(
             &res.outputs,
             &batch,
-            case,
+            seed,
             &format!("exec x{nranks} on {workers} workers"),
+            "random_batches_on_oversubscribed_executor_match_serial",
         );
         for &g in &res.ws_grow_counts {
-            assert!(g <= 1, "case {case}: workspace grew {g} times");
+            assert!(g <= 1, "seed {seed:#x}: workspace grew {g} times");
         }
     }
 }

@@ -44,6 +44,7 @@ pub mod mask;
 pub mod matrix;
 pub mod naive;
 pub mod pack;
+pub mod prop;
 pub mod rng;
 #[cfg(target_arch = "x86_64")]
 pub mod simd;
@@ -59,6 +60,7 @@ pub use gemm::{dgemm, dgemm_into, dgemm_ws, Op};
 pub use kernel::{active_kernel, Microkernel};
 pub use mask::BlockMask;
 pub use matrix::{MatMut, MatRef, Matrix};
+pub use prop::{prop_rerun, prop_seeds};
 pub use rng::Rng;
 pub use strassen::strassen_gemm_ws;
 pub use verify::{assert_close, max_abs_diff, rel_fro_error};

@@ -23,6 +23,11 @@ pub struct Counters {
     /// Floating-point operations the pruned tasks would have cost
     /// (`2·m·n·k` over the skipped k-segments).
     pub flops_skipped: u64,
+    /// Tasks this rank executed **on behalf of a dead rank** (the
+    /// executor's re-execution protocol under fault injection).
+    pub tasks_reexecuted: u64,
+    /// Injected fault delays observed (spiked gets, stretched compute).
+    pub delays_injected: u64,
 }
 
 impl Counters {
@@ -35,6 +40,8 @@ impl Counters {
         self.tasks += other.tasks;
         self.tasks_masked += other.tasks_masked;
         self.flops_skipped += other.flops_skipped;
+        self.tasks_reexecuted += other.tasks_reexecuted;
+        self.delays_injected += other.delays_injected;
     }
 }
 
@@ -135,6 +142,18 @@ impl Recorder {
         self.counters.flops_skipped += flops;
     }
 
+    /// Count one task executed on behalf of a dead rank.
+    #[inline]
+    pub fn count_reexec(&mut self) {
+        self.counters.tasks_reexecuted += 1;
+    }
+
+    /// Count one injected fault delay (spiked get, stretched compute).
+    #[inline]
+    pub fn count_delay(&mut self) {
+        self.counters.delays_injected += 1;
+    }
+
     /// The events recorded so far.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
@@ -192,6 +211,8 @@ mod tests {
             tasks: 3,
             tasks_masked: 2,
             flops_skipped: 600,
+            tasks_reexecuted: 1,
+            delays_injected: 4,
         };
         a.merge(&Counters {
             bytes_fetched: 5,
@@ -201,11 +222,15 @@ mod tests {
             tasks: 1,
             tasks_masked: 1,
             flops_skipped: 400,
+            tasks_reexecuted: 2,
+            delays_injected: 1,
         });
         assert_eq!(a.bytes_fetched, 15);
         assert_eq!(a.tasks, 4);
         assert_eq!(a.tasks_masked, 3);
         assert_eq!(a.flops_skipped, 1000);
+        assert_eq!(a.tasks_reexecuted, 3);
+        assert_eq!(a.delays_injected, 5);
     }
 
     #[test]

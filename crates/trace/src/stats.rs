@@ -40,6 +40,11 @@ pub struct RankStats {
     pub tasks_masked: u64,
     /// Flops the pruned tasks would have cost.
     pub flops_skipped: u64,
+    /// Tasks this rank ran on behalf of a dead rank (fault injection's
+    /// re-execution protocol).
+    pub tasks_reexecuted: u64,
+    /// Injected fault delays observed by this rank.
+    pub delays_injected: u64,
     /// Sum over async transfers of their in-flight duration
     /// (issue→completion). Together with `wait_time` this yields the
     /// achieved overlap fraction.
@@ -74,6 +79,8 @@ impl RankStats {
         self.tasks += ctr.tasks;
         self.tasks_masked += ctr.tasks_masked;
         self.flops_skipped += ctr.flops_skipped;
+        self.tasks_reexecuted += ctr.tasks_reexecuted;
+        self.delays_injected += ctr.delays_injected;
     }
 }
 
@@ -219,6 +226,16 @@ impl RunStats {
         self.ranks.iter().map(|r| r.flops_skipped).sum()
     }
 
+    /// Total tasks re-executed on behalf of dead ranks.
+    pub fn total_tasks_reexecuted(&self) -> u64 {
+        self.ranks.iter().map(|r| r.tasks_reexecuted).sum()
+    }
+
+    /// Total injected fault delays observed across ranks.
+    pub fn total_delays_injected(&self) -> u64 {
+        self.ranks.iter().map(|r| r.delays_injected).sum()
+    }
+
     /// Per-rank surviving-task imbalance: `(max − min) / max` over the
     /// per-rank executed-task counts, in `[0, 1]`. Block sparsity makes
     /// this the load imbalance the work-stealing executor must absorb
@@ -299,6 +316,8 @@ impl RunStats {
         o.int("tasks", self.total_tasks());
         o.int("tasks_masked", self.total_tasks_masked());
         o.int("flops_skipped", self.total_flops_skipped());
+        o.int("tasks_reexecuted", self.total_tasks_reexecuted());
+        o.int("delays_injected", self.total_delays_injected());
         o.num("task_skew", self.task_skew());
         if let Some(e) = &self.exec {
             o.int("exec_workers", e.workers as u64);

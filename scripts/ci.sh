@@ -54,6 +54,37 @@ timeout 300 cargo run --release -q -p srumma-bench \
 timeout 300 env SRUMMA_KERNEL=scalar cargo run --release -q -p srumma-bench \
     --bin bench_sparse_gemm -- --smoke
 
+echo "== chaos pass: fault injection under fixed-seed plans =="
+# The chaos suite injects stragglers, spiked gets and a rank death
+# (with task re-execution) from seeded FaultPlans. Its failure modes
+# are deadlocks (a retired fence not advancing, a lost wakeup after a
+# death announcement) — bounded with timeout so they fail fast. Run
+# under both kernel dispatch modes: re-executed tasks must be bitwise
+# identical to the healthy run whichever microkernel executes them.
+timeout 300 cargo test -q --release -p srumma --test property_chaos
+timeout 300 env SRUMMA_KERNEL=scalar cargo test -q --release -p srumma --test property_chaos
+# Determinism of the schedule itself: the same seeded plans twice —
+# same pass/fail, and the suite's reproducibility test asserts
+# bit-identical virtual-time results internally.
+timeout 300 cargo test -q --release -p srumma --test property_chaos
+
+echo "== perf gate (warn): straggler degradation ratio =="
+# SRUMMA's one-sided gets must keep degrading more gracefully than
+# SUMMA's broadcasts under a single straggler. The bench itself hard-
+# fails if SRUMMA's ratio ever reaches SUMMA's; the diff against the
+# checked-in baseline is warn-only (deterministic sim, so it only
+# moves when the model or the algorithms change — read the diff).
+if [ -f results/BENCH_degradation.json ]; then
+    cargo run --release -q -p srumma-bench --bin bench_degradation -- \
+        --out /tmp/BENCH_degradation.json >/dev/null
+    if ! ./scripts/bench_diff results/BENCH_degradation.json /tmp/BENCH_degradation.json \
+        --strict --only degradation_ratio; then
+        echo "WARNING: straggler degradation ratios moved vs checked-in baseline (warn-only gate)"
+    fi
+else
+    echo "no checked-in baseline (results/BENCH_degradation.json); skipping"
+fi
+
 echo "== perf gate (hard): dense gemm kernel =="
 # Regenerate the kernel bench quickly and diff against the checked-in
 # baseline. The hard gate covers the simd-over-scalar speedup ratios:

@@ -4,13 +4,15 @@
 //! scheduling options.
 //!
 //! Seeds are deterministic (SplitMix64) and embedded in every assertion
-//! message, so a failure reproduces by running the named case alone.
+//! message together with a copy-pasteable rerun command; set
+//! `SRUMMA_PROP_SEED` to pin one case or `SRUMMA_PROP_CASES` to widen
+//! the sweep (see `srumma::dense::prop`).
 
 use srumma::core::driver::{
     default_grid, multiply_exec, multiply_exec_sparse, multiply_threads, multiply_threads_sparse,
     multiply_verified, multiply_verified_sparse, serial_reference, sparse_serial_reference,
 };
-use srumma::dense::{max_abs_diff, Rng};
+use srumma::dense::{max_abs_diff, prop_rerun, prop_seeds, Rng};
 use srumma::{
     Algorithm, BlockMask, GemmSpec, Machine, Matrix, Op, ShmemFlavor, SparseMasks, SrummaOptions,
 };
@@ -68,7 +70,7 @@ enum Backend {
 
 /// `β·C + α·op(A)·op(B)` with a random nonzero starting C, checked
 /// against the serial kernel run on the same inputs.
-fn check_case(seed: u64, backend: Backend) {
+fn check_case(seed: u64, backend: Backend, test: &str) {
     let mut rng = Rng::new(seed);
     let spec = random_spec(&mut rng);
     let nranks = *rng.pick(&[1usize, 2, 3, 4, 6, 8]);
@@ -105,7 +107,7 @@ fn check_case(seed: u64, backend: Backend) {
     let diff = max_abs_diff(&c, &expect);
     assert!(
         diff < tolerance(spec.k),
-        "seed {seed:#x}: {} {} m={} n={} k={} alpha={} beta={} x{nranks} ({backend:?}): |diff|={diff:e}",
+        "seed {seed:#x}: {} {} m={} n={} k={} alpha={} beta={} x{nranks} ({backend:?}): |diff|={diff:e}\n{}",
         alg.name(),
         spec.case_label(),
         spec.m,
@@ -113,6 +115,7 @@ fn check_case(seed: u64, backend: Backend) {
         spec.k,
         spec.alpha,
         spec.beta,
+        prop_rerun(seed, test),
     );
 }
 
@@ -138,7 +141,7 @@ fn random_masks(rng: &mut Rng, nranks: usize, seed: u64) -> SparseMasks {
 /// serial reference. The operands carry full random data *everywhere*
 /// — including inside masked blocks — so agreement proves the pruned
 /// schedule never reads a dead block.
-fn check_sparse_case(seed: u64, backend: Backend) {
+fn check_sparse_case(seed: u64, backend: Backend, test: &str) {
     let mut rng = Rng::new(seed);
     let spec = random_spec(&mut rng);
     let nranks = *rng.pick(&[1usize, 2, 3, 4, 6, 8]);
@@ -179,7 +182,7 @@ fn check_sparse_case(seed: u64, backend: Backend) {
     assert!(
         diff < tolerance(spec.k),
         "seed {seed:#x}: sparse {} m={} n={} k={} alpha={} beta={} x{nranks} ({backend:?}) \
-         da={:.2} db={:.2}: |diff|={diff:e}",
+         da={:.2} db={:.2}: |diff|={diff:e}\n{}",
         spec.case_label(),
         spec.m,
         spec.n,
@@ -188,48 +191,73 @@ fn check_sparse_case(seed: u64, backend: Backend) {
         spec.beta,
         masks.a.as_ref().map_or(1.0, |m| m.density()),
         masks.b.as_ref().map_or(1.0, |m| m.density()),
+        prop_rerun(seed, test),
     );
 }
 
 #[test]
 fn threads_match_serial_reference_on_random_problems() {
-    for case in 0..CASES {
-        check_case(0xE2E_7EAD + case, Backend::Threads);
+    for seed in prop_seeds(0xE2E_7EAD, CASES) {
+        check_case(
+            seed,
+            Backend::Threads,
+            "threads_match_serial_reference_on_random_problems",
+        );
     }
 }
 
 #[test]
 fn simulator_matches_serial_reference_on_random_problems() {
-    for case in 0..CASES {
-        check_case(0xE2E_0512 + case, Backend::Sim);
+    for seed in prop_seeds(0xE2E_0512, CASES) {
+        check_case(
+            seed,
+            Backend::Sim,
+            "simulator_matches_serial_reference_on_random_problems",
+        );
     }
 }
 
 #[test]
 fn executor_matches_serial_reference_on_random_problems() {
-    for case in 0..CASES {
-        check_case(0xE2E_0EC5 + case, Backend::Exec);
+    for seed in prop_seeds(0xE2E_0EC5, CASES) {
+        check_case(
+            seed,
+            Backend::Exec,
+            "executor_matches_serial_reference_on_random_problems",
+        );
     }
 }
 
 #[test]
 fn sparse_threads_match_masked_serial_reference() {
-    for case in 0..CASES {
-        check_sparse_case(0x5BA_57EAD + case, Backend::Threads);
+    for seed in prop_seeds(0x5BA_57EAD, CASES) {
+        check_sparse_case(
+            seed,
+            Backend::Threads,
+            "sparse_threads_match_masked_serial_reference",
+        );
     }
 }
 
 #[test]
 fn sparse_simulator_matches_masked_serial_reference() {
-    for case in 0..CASES {
-        check_sparse_case(0x5BA_50512 + case, Backend::Sim);
+    for seed in prop_seeds(0x5BA_50512, CASES) {
+        check_sparse_case(
+            seed,
+            Backend::Sim,
+            "sparse_simulator_matches_masked_serial_reference",
+        );
     }
 }
 
 #[test]
 fn sparse_executor_matches_masked_serial_reference() {
-    for case in 0..CASES {
-        check_sparse_case(0x5BA_50EC5 + case, Backend::Exec);
+    for seed in prop_seeds(0x5BA_50EC5, CASES) {
+        check_sparse_case(
+            seed,
+            Backend::Exec,
+            "sparse_executor_matches_masked_serial_reference",
+        );
     }
 }
 
