@@ -3,19 +3,28 @@
 //! sizes (`--blocks`), compare the micro-kernel flavors and pack
 //! layouts (`--kernels`), find the Strassen recursion cutoff
 //! (`--strassen`), probe the work-stealing executor's worker count
-//! (`--workers`), and find the batched-driver amortization crossover
-//! (`--batch`). `--list-kernels` prints the kernels available on this
-//! host one per line (the `scripts/ci.sh` flavor loop consumes it).
-//! Not a figure — a development tool.
+//! (`--workers`), find the batched-driver amortization crossover
+//! (`--batch`), and probe node-group sizes / replication factors for
+//! the hierarchical driver (`--topology`, which also writes
+//! `results/topology_profile.json` for deployments to consume).
+//! `--list-kernels` prints the kernels available on this host one per
+//! line (the `scripts/ci.sh` flavor loop consumes it). Not a figure —
+//! a development tool.
 
 use srumma_bench::{fmt, pdgemm_best, srumma_gflops, srumma_stats};
 use srumma_core::batch::{multiply_batch_exec, BatchEntry, BatchSpec};
-use srumma_core::driver::multiply_exec;
-use srumma_core::{Algorithm, GemmSpec};
+use srumma_core::driver::{multiply_exec, multiply_threads};
+use srumma_core::memory::replicated_arena_footprint;
+use srumma_core::repl::admissible_factor;
+use srumma_core::{
+    multiply_threads_hier, multiply_threads_replicated, Algorithm, GemmSpec, ReplicationFactor,
+    SrummaOptions,
+};
 use srumma_dense::blocked::{blocked_gemm_ws, BlockSizes, STRASSEN_MIN_CUTOFF};
 use srumma_dense::kernel::host_kernel_summary;
 use srumma_dense::{active_kernel, dgemm_ws, GemmWorkspace, Matrix, Microkernel, Op, PackLayout};
-use srumma_model::Machine;
+use srumma_model::{Machine, Topology};
+use srumma_trace::json::JsonObject;
 use std::time::Instant;
 
 /// Probe candidate `MC/KC/NC` block sizes on this host: time a
@@ -321,6 +330,129 @@ fn probe_batch() {
     }
 }
 
+/// Probe node-group sizes and replication factors on this host: run
+/// the flat, hierarchical (`multiply_threads_hier`) and replicated
+/// (`multiply_threads_replicated`) drivers over the admissible
+/// `ranks_per_node` / `c` values at a fixed rank count, report wall
+/// times and the crossover (best group size, best factor), and write
+/// the result as a small JSON profile to
+/// `results/topology_profile.json` so deployments can feed the
+/// measured winners back into `SrummaOptions` instead of guessing.
+///
+/// Host threads are real but the "network" between node groups is
+/// shared memory, so the hierarchical schedule pays its staging copies
+/// without banking the inter-node savings — on most hosts flat wins
+/// and the profile records *by how much*, which is exactly the
+/// overhead a real cluster run must amortize.
+fn probe_topology() {
+    let nranks = 16usize;
+    let spec = GemmSpec::square(512);
+    let a = Matrix::random(spec.m, spec.k, 1);
+    let b = Matrix::random(spec.k, spec.n, 2);
+    let opts = SrummaOptions::default();
+    let alg = Algorithm::srumma_default();
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "topology probe ({nranks} ranks on host threads, n={}, best of 3):",
+        spec.m
+    );
+
+    let mut profile = JsonObject::new();
+    profile.num("nranks", nranks as f64);
+    profile.num("n", spec.m as f64);
+    profile.num("host_cores", host as f64);
+
+    let best_of_3 = |run: &mut dyn FnMut()| {
+        run(); // warm-up
+        let mut min = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            run();
+            min = min.min(t.elapsed().as_secs_f64());
+        }
+        min
+    };
+
+    let flat = best_of_3(&mut || {
+        let _ = multiply_threads(nranks, &alg, &spec, &a, &b);
+    });
+    println!("  flat                  {:>8.2} ms", flat * 1e3);
+    profile.num("flat_seconds", flat);
+
+    // Group-size sweep: every divisor of nranks, from "every rank its
+    // own node" (no staging possible) to "one node = whole machine"
+    // (nothing is off-node). The interesting crossover lives between.
+    let mut best_group = (f64::INFINITY, 1usize);
+    for rpn in (1..=nranks).filter(|w| nranks.is_multiple_of(*w)) {
+        let t = best_of_3(&mut || {
+            let _ = multiply_threads_hier(nranks, rpn, &opts, &spec, &a, &b);
+        });
+        println!(
+            "  hier  rpn={rpn:<3}        {:>8.2} ms ({:+.1}% vs flat)",
+            t * 1e3,
+            (t / flat - 1.0) * 100.0
+        );
+        profile.num(&format!("hier_seconds_rpn{rpn}"), t);
+        if t < best_group.0 {
+            best_group = (t, rpn);
+        }
+    }
+    profile.num("best_ranks_per_node", best_group.1 as f64);
+
+    // Replication sweep at the winning group size: admissible factors
+    // only, with the per-rank arena cost alongside the time so the
+    // profile captures the memory side of the trade too.
+    let topo = Topology::new(nranks, best_group.1);
+    let mut best_c = (f64::INFINITY, 1usize);
+    for c in (1..=nranks).filter(|&c| admissible_factor(nranks, topo, spec.k, c)) {
+        let arena = replicated_arena_footprint(&spec, nranks, c, &opts).buffer_bytes;
+        let t = best_of_3(&mut || {
+            let _ = multiply_threads_replicated(
+                nranks,
+                best_group.1,
+                ReplicationFactor::Fixed(c),
+                &opts,
+                &spec,
+                &a,
+                &b,
+            );
+        });
+        println!(
+            "  repl  c={c:<3} rpn={:<3}  {:>8.2} ms ({:+.1}% vs flat, arena {} B/rank)",
+            best_group.1,
+            t * 1e3,
+            (t / flat - 1.0) * 100.0,
+            arena
+        );
+        profile.num(&format!("repl_seconds_c{c}"), t);
+        profile.num(&format!("repl_arena_bytes_c{c}"), arena as f64);
+        if t < best_c.0 {
+            best_c = (t, c);
+        }
+    }
+    profile.num("best_replication_factor", best_c.1 as f64);
+
+    println!(
+        "crossover: rpn={} ({:+.1}% vs flat), c={} ({:+.1}% vs flat) on this host",
+        best_group.1,
+        (best_group.0 / flat - 1.0) * 100.0,
+        best_c.1,
+        (best_c.0 / flat - 1.0) * 100.0
+    );
+    let path = "results/topology_profile.json";
+    match std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(path, profile.finish() + "\n"))
+    {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--list-kernels") {
         // Machine-readable: one available kernel env-name per line
@@ -350,6 +482,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--batch") {
         probe_batch();
+        return;
+    }
+    if std::env::args().any(|a| a == "--topology") {
+        probe_topology();
         return;
     }
     let t0 = std::time::Instant::now();

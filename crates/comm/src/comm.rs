@@ -29,6 +29,10 @@ pub enum GetHandle {
     Ready,
     /// Pending simulated transfer.
     Sim(srumma_sim::TransferId),
+    /// Pending transfer on the per-rank virtual-clock backend
+    /// ([`crate::virt::VirtualComm`]); the index keys its internal
+    /// completion-time table.
+    Virt(usize),
 }
 
 /// A fetched (or directly accessible) operand block: dimensions always,

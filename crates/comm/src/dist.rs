@@ -13,7 +13,7 @@
 
 use crate::arena::SharedArena;
 use srumma_dense::{BlockMask, MatMut, MatRef, Matrix};
-use srumma_model::ProcGrid;
+use srumma_model::{ProcGrid, Topology};
 use std::sync::Arc;
 
 // The near-even 1-D partition is canonical in `srumma_dense::mask` (the
@@ -55,6 +55,48 @@ pub enum RankOrder {
     ColMajor,
 }
 
+/// How a matrix's data-slot indices map to **cost ranks** — the global
+/// rank ids backends use to classify a one-sided operation's cost
+/// (shared-memory copy vs network RMA) and traffic level (intra-group
+/// vs inter-node).
+///
+/// Ordinary matrices use [`CostMap::Identity`]: slot `r` *is* rank `r`.
+/// The hierarchical and replicated schedules introduce matrices whose
+/// slots are not globally addressed: a replica layer's matrices index
+/// slots by layer-local rank ([`CostMap::Base`] re-bases them onto the
+/// layer's global rank block), and a node group's staging matrices keep
+/// the original owner's slot while the data physically lives with the
+/// group's elected fetcher ([`CostMap::Staged`] maps each slot to that
+/// fetcher, so a groupmate's get prices as an intra-node copy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CostMap {
+    /// Slot `r` is global rank `r` (the flat default).
+    #[default]
+    Identity,
+    /// Slot `r` is global rank `base + r` (replica layers).
+    Base(usize),
+    /// Slot `r`'s data lives with the fetcher `node`'s member
+    /// `lo + r % width` elected for it (group staging regions). The
+    /// same modulo formula is the election rule in the hierarchical
+    /// planner — the two must agree or costs lie.
+    Staged { topo: Topology, node: usize },
+}
+
+impl CostMap {
+    /// The global rank whose memory serves `slot`'s block.
+    #[inline]
+    pub fn cost_rank(&self, slot: usize) -> usize {
+        match self {
+            CostMap::Identity => slot,
+            CostMap::Base(base) => base + slot,
+            CostMap::Staged { topo, node } => {
+                let members = topo.ranks_on_node(*node);
+                members.start + slot % members.len()
+            }
+        }
+    }
+}
+
 /// A dense matrix distributed in 2-D blocks over a process grid.
 pub struct DistMatrix {
     grid: ProcGrid,
@@ -66,6 +108,8 @@ pub struct DistMatrix {
     /// block coordinates (`p × q` of this matrix's grid, after any
     /// transposition applied by the layout layer). `None` means dense.
     mask: Option<BlockMask>,
+    /// Slot → cost-rank mapping (see [`CostMap`]).
+    cost: CostMap,
 }
 
 impl DistMatrix {
@@ -113,6 +157,7 @@ impl DistMatrix {
             order,
             backing,
             mask: None,
+            cost: CostMap::Identity,
         }
     }
 
@@ -152,7 +197,23 @@ impl DistMatrix {
                 stride,
             },
             mask: None,
+            cost: CostMap::Identity,
         }
+    }
+
+    /// Attach a non-identity slot → cost-rank mapping (hierarchical
+    /// staging regions, replica-layer matrices). Set before launching
+    /// rank code, like the mask.
+    pub fn set_cost_map(&mut self, cost: CostMap) {
+        self.cost = cost;
+    }
+
+    /// The global rank whose memory serves `slot`'s block — what
+    /// backends must use for topology/cost classification of one-sided
+    /// operations on this matrix (`slot` itself stays the data index).
+    #[inline]
+    pub fn cost_rank(&self, slot: usize) -> usize {
+        self.cost.cost_rank(slot)
     }
 
     /// Arena region id of `rank`'s block (real backing only).

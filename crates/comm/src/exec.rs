@@ -172,6 +172,10 @@ struct SchedCore {
     nranks: usize,
     workers: usize,
     trace: bool,
+    /// Emulated node layout every rank's `ExecComm` reports. Defaults
+    /// to one cacheable domain; the `_with_topology` entry points
+    /// override it for hierarchical schedules.
+    topo: Topology,
     t0: Instant,
     global: Mutex<Global>,
     work_cv: Condvar,
@@ -201,11 +205,14 @@ fn relock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
 }
 
 impl SchedCore {
-    fn new(nranks: usize, workers: usize, trace: bool) -> Arc<Self> {
+    fn new(nranks: usize, workers: usize, trace: bool, topo: Option<Topology>) -> Arc<Self> {
+        let topo = topo.unwrap_or_else(|| Topology::single_domain(nranks));
+        assert_eq!(topo.nranks(), nranks, "topology rank count mismatch");
         Arc::new(SchedCore {
             nranks,
             workers,
             trace,
+            topo,
             t0: Instant::now(),
             global: Mutex::new(Global {
                 injector: VecDeque::new(),
@@ -629,6 +636,20 @@ impl ExecComm {
     fn take_trace(&mut self) -> (Vec<TraceEvent>, Counters) {
         self.recorder.take()
     }
+
+    /// Classify a transfer against the emulated topology: which level of
+    /// the (pretend) memory hierarchy served it.
+    #[inline]
+    fn classify(&mut self, serve: usize, bytes: u64) {
+        if serve == self.rank {
+            return;
+        }
+        if self.core.topo.same_domain(self.rank, serve) {
+            self.recorder.count_intragroup(bytes);
+        } else {
+            self.recorder.count_internode(bytes);
+        }
+    }
 }
 
 impl Comm for ExecComm {
@@ -641,12 +662,14 @@ impl Comm for ExecComm {
     }
 
     fn topology(&self) -> Topology {
-        Topology::single_domain(self.nranks)
+        self.core.topo
     }
 
-    fn prefer_direct_access(&self, _owner: usize) -> bool {
-        // Host shared memory is cacheable, as on the thread backend.
-        true
+    fn prefer_direct_access(&self, owner: usize) -> bool {
+        // Host shared memory is cacheable, as on the thread backend —
+        // but an emulated cluster topology makes off-node blocks
+        // fetch-only so hierarchical staging moves real bytes.
+        self.core.topo.same_domain(self.rank, owner)
     }
 
     fn now(&self) -> f64 {
@@ -693,6 +716,7 @@ impl Comm for ExecComm {
         let (rows, cols) = mat.copy_block_into(owner, buf);
         let bytes = (rows * cols * 8) as u64;
         self.recorder.count_fetch(bytes);
+        self.classify(mat.cost_rank(owner), bytes);
         self.span_end(TraceKind::Transfer, t0, bytes, || format!("get<-{owner}"));
         GetHandle::Ready
     }
@@ -700,7 +724,9 @@ impl Comm for ExecComm {
     fn wait(&mut self, h: GetHandle) {
         match h {
             GetHandle::Ready => {}
-            GetHandle::Sim(_) => unreachable!("executor backend issues no simulated transfers"),
+            GetHandle::Sim(_) | GetHandle::Virt(_) => {
+                unreachable!("executor backend issues no simulated transfers")
+            }
         }
     }
 
@@ -708,6 +734,7 @@ impl Comm for ExecComm {
         let t0 = self.span_start();
         mat.copy_block_from(owner, data);
         let bytes = mat.block_bytes(owner);
+        self.classify(mat.cost_rank(owner), bytes);
         self.span_end(TraceKind::Transfer, t0, bytes, || format!("put->{owner}"));
         GetHandle::Ready
     }
@@ -716,6 +743,7 @@ impl Comm for ExecComm {
         let t0 = self.span_start();
         mat.acc_block_from(owner, scale, data);
         let bytes = mat.block_bytes(owner);
+        self.classify(mat.cost_rank(owner), bytes);
         self.span_end(TraceKind::Transfer, t0, bytes, || format!("acc->{owner}"));
     }
 
@@ -1025,7 +1053,7 @@ where
     T: Send,
     F: Fn(&mut ExecComm) -> T + Sync,
 {
-    exec_run_gated(nranks, workers, false, body)
+    exec_run_gated(nranks, workers, false, None, body)
 }
 
 /// [`exec_run`] with wall-clock event tracing (plus `Sched` steal /
@@ -1035,17 +1063,39 @@ where
     T: Send,
     F: Fn(&mut ExecComm) -> T + Sync,
 {
-    exec_run_gated(nranks, workers, true, body)
+    exec_run_gated(nranks, workers, true, None, body)
 }
 
-fn exec_run_gated<T, F>(nranks: usize, workers: usize, trace: bool, body: F) -> ExecRunResult<T>
+/// [`exec_run`] with an emulated cluster topology: every rank's
+/// `ExecComm` reports `topo`, off-node blocks lose direct access, and
+/// transfers are classified intra-group vs inter-node.
+pub fn exec_run_with_topology<T, F>(
+    nranks: usize,
+    workers: usize,
+    topo: Topology,
+    body: F,
+) -> ExecRunResult<T>
+where
+    T: Send,
+    F: Fn(&mut ExecComm) -> T + Sync,
+{
+    exec_run_gated(nranks, workers, false, Some(topo), body)
+}
+
+fn exec_run_gated<T, F>(
+    nranks: usize,
+    workers: usize,
+    trace: bool,
+    topo: Option<Topology>,
+    body: F,
+) -> ExecRunResult<T>
 where
     T: Send,
     F: Fn(&mut ExecComm) -> T + Sync,
 {
     assert!(nranks > 0);
     let workers = workers.clamp(1, nranks);
-    let core = SchedCore::new(nranks, workers, trace);
+    let core = SchedCore::new(nranks, workers, trace, topo);
     seed(&core);
     let slots: Vec<TaskSlot<'_, T>> = (0..nranks).map(|_| TaskSlot::Gate).collect();
     let outputs: Vec<Mutex<Option<T>>> = (0..nranks).map(|_| Mutex::new(None)).collect();
@@ -1108,6 +1158,22 @@ pub fn exec_run_tasks<'env, T, F>(
     nranks: usize,
     workers: usize,
     trace: bool,
+    factory: F,
+) -> ExecRunResult<T>
+where
+    T: Send,
+    F: FnMut(ExecComm) -> Box<dyn RankTask<Out = T> + Send + 'env>,
+{
+    exec_run_tasks_with_topology(nranks, workers, trace, None, factory)
+}
+
+/// [`exec_run_tasks`] with an optional emulated cluster topology (see
+/// [`exec_run_with_topology`]).
+pub fn exec_run_tasks_with_topology<'env, T, F>(
+    nranks: usize,
+    workers: usize,
+    trace: bool,
+    topo: Option<Topology>,
     mut factory: F,
 ) -> ExecRunResult<T>
 where
@@ -1116,7 +1182,7 @@ where
 {
     assert!(nranks > 0);
     let workers = workers.clamp(1, nranks);
-    let core = SchedCore::new(nranks, workers, trace);
+    let core = SchedCore::new(nranks, workers, trace, topo);
     let slots: Vec<TaskSlot<'env, T>> = (0..nranks)
         .map(|rank| {
             let comm = ExecComm::new(Arc::clone(&core), rank, TaskMode::Fsm);
@@ -1152,7 +1218,7 @@ mod tests {
 
     #[test]
     fn retiring_a_dead_rank_completes_its_pending_fences() {
-        let core = SchedCore::new(3, 1, false);
+        let core = SchedCore::new(3, 1, false, None);
         // Mid-batch: ranks 0 and 1 arrive at fence 0, rank 2 is dead
         // and never will. The fence must not complete yet...
         assert_eq!(core.fence_arrive(0), 0);
@@ -1169,7 +1235,7 @@ mod tests {
 
     #[test]
     fn retirement_releases_parked_waiters() {
-        let core = SchedCore::new(2, 1, false);
+        let core = SchedCore::new(2, 1, false, None);
         core.fence_arrive(0);
         // Rank 0 is parked waiting on fence 0; rank 1 dies without
         // arriving. Retirement must move the waiter back to the queue
@@ -1185,7 +1251,7 @@ mod tests {
 
     #[test]
     fn proxy_arrival_discharges_a_dead_ranks_barrier() {
-        let core = SchedCore::new(3, 1, false);
+        let core = SchedCore::new(3, 1, false, None);
         // Ranks 0 and 1 arrive; rank 2 is dead. A survivor vouches for
         // it via fence_arrive(dead) — the re-execution handshake.
         core.fence_arrive(0);
@@ -1198,7 +1264,7 @@ mod tests {
 
     #[test]
     fn all_ranks_retired_completes_everything() {
-        let core = SchedCore::new(2, 1, false);
+        let core = SchedCore::new(2, 1, false, None);
         core.retire_rank(0);
         core.retire_rank(1);
         assert!(core.fence_check(0, 0));
@@ -1207,7 +1273,7 @@ mod tests {
 
     #[test]
     fn barrier_try_after_poison_panics_instead_of_parking() {
-        let core = SchedCore::new(2, 1, false);
+        let core = SchedCore::new(2, 1, false, None);
         let mut comm = ExecComm::new(Arc::clone(&core), 0, TaskMode::Fsm);
         assert!(!comm.barrier_try(), "one arrival out of two cannot pass");
         core.poison(Box::new("boom"));

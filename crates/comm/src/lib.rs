@@ -42,14 +42,21 @@ pub mod exec;
 pub mod fault;
 pub mod mpi;
 pub mod simbackend;
+pub mod subcomm;
 pub mod threadbackend;
+pub mod virt;
 
 pub use arena::SharedArena;
 pub use comm::{BlockMut, BlockRef, Comm, GetHandle};
-pub use dist::DistMatrix;
+pub use dist::{CostMap, DistMatrix};
 pub use exec::{
-    exec_run, exec_run_tasks, exec_run_traced, ExecComm, ExecRunResult, RankTask, Step,
+    exec_run, exec_run_tasks, exec_run_tasks_with_topology, exec_run_traced,
+    exec_run_with_topology, ExecComm, ExecRunResult, RankTask, Step,
 };
 pub use fault::{ChaosComm, FaultPlan, RankDeath};
 pub use simbackend::{sim_run, ComputeMode, SimComm, SimOptions};
-pub use threadbackend::{thread_run, thread_run_traced, ThreadComm, ThreadRunResult};
+pub use subcomm::SubComm;
+pub use threadbackend::{
+    thread_run, thread_run_traced, thread_run_with_topology, ThreadComm, ThreadRunResult,
+};
+pub use virt::{virtual_run, VirtualComm, VirtualRunResult};

@@ -244,9 +244,13 @@ impl Comm for SimComm {
         let me = self.proc.rank();
         let (rows, cols) = mat.copy_block_into(owner, buf);
         self.recorder.count_fetch((rows * cols * 8) as u64);
-        if owner == me {
-            // Own block: the algorithm normally uses a direct view, but
-            // a copy of one's own block costs a local memcpy.
+        // `owner` indexes the data slot; the *cost* endpoint is the rank
+        // whose memory serves it (they differ for staged/layered
+        // matrices — see `CostMap`).
+        let serve = mat.cost_rank(owner);
+        if serve == me {
+            // Served from our own memory: the algorithm normally uses a
+            // direct view, but a copy still costs a local memcpy.
             let bytes = (rows * cols * 8) as u64;
             let cost = protocol::shm_copy(&self.machine, bytes as usize, false);
             let cost = self.fault_onesided(cost);
@@ -261,16 +265,18 @@ impl Comm for SimComm {
         }
         let bytes = (rows * cols * 8) as u64;
         let topo = self.proc.topology();
-        let cost = if topo.same_domain(me, owner) {
-            let cross = self.membw_group(me) != self.membw_group(owner);
+        let cost = if topo.same_domain(me, serve) {
+            self.recorder.count_intragroup(bytes);
+            let cross = self.membw_group(me) != self.membw_group(serve);
             protocol::shm_copy(&self.machine, bytes as usize, cross)
         } else {
+            self.recorder.count_internode(bytes);
             protocol::rma_get(&self.machine, bytes as usize)
         };
         let cost = self.fault_onesided(cost);
         let id = self.proc.issue_transfer(TransferSpec {
             cost,
-            src_rank: owner,
+            src_rank: serve,
             dst_rank: me,
             bytes,
             label: format!("get<-{owner}"),
@@ -282,6 +288,7 @@ impl Comm for SimComm {
         match h {
             GetHandle::Ready => {}
             GetHandle::Sim(id) => self.proc.wait_transfer(id),
+            GetHandle::Virt(_) => unreachable!("sim backend issues no virtual-clock transfers"),
         }
     }
 
@@ -296,16 +303,21 @@ impl Comm for SimComm {
         mat.copy_block_from(owner, data);
         let bytes = mat.block_bytes(owner);
         let topo = self.proc.topology();
-        let cost = if owner == me || topo.same_domain(me, owner) {
-            let cross = owner != me && self.membw_group(me) != self.membw_group(owner);
+        let serve = mat.cost_rank(owner);
+        let cost = if serve == me || topo.same_domain(me, serve) {
+            if serve != me {
+                self.recorder.count_intragroup(bytes);
+            }
+            let cross = serve != me && self.membw_group(me) != self.membw_group(serve);
             protocol::shm_copy(&self.machine, bytes as usize, cross)
         } else {
+            self.recorder.count_internode(bytes);
             protocol::rma_put(&self.machine, bytes as usize)
         };
         let id = self.proc.issue_transfer(TransferSpec {
             cost,
             src_rank: me,
-            dst_rank: owner,
+            dst_rank: serve,
             bytes,
             label: format!("put->{owner}"),
         });
@@ -323,13 +335,18 @@ impl Comm for SimComm {
         // accumulate handler): model it as remote CPU time at one add
         // per element, stolen from the owner's processor.
         let add_time = (rows * cols) as f64 / self.machine.cpu.peak_flops;
-        let mut cost = if owner == me || topo.same_domain(me, owner) {
-            let cross = owner != me && self.membw_group(me) != self.membw_group(owner);
+        let serve = mat.cost_rank(owner);
+        let mut cost = if serve == me || topo.same_domain(me, serve) {
+            if serve != me {
+                self.recorder.count_intragroup(bytes);
+            }
+            let cross = serve != me && self.membw_group(me) != self.membw_group(serve);
             protocol::shm_copy(&self.machine, bytes as usize, cross)
         } else {
+            self.recorder.count_internode(bytes);
             protocol::rma_put(&self.machine, bytes as usize)
         };
-        if owner == me {
+        if serve == me {
             // Local accumulate: our own CPU does the adds.
             self.proc.advance(add_time);
         } else {
@@ -338,7 +355,7 @@ impl Comm for SimComm {
         let id = self.proc.issue_transfer(TransferSpec {
             cost,
             src_rank: me,
-            dst_rank: owner,
+            dst_rank: serve,
             bytes,
             label: format!("acc->{owner}"),
         });

@@ -85,6 +85,11 @@ pub struct ThreadComm {
     /// `receivers[s]` receives what rank `s` sent us.
     receivers: Vec<Receiver<Packet>>,
     t0: Instant,
+    /// Emulated node layout. Defaults to one cacheable domain (the
+    /// Altix flavor); [`thread_run_with_topology`] overrides it so
+    /// hierarchical schedules exercise real staging `memcpy`s on a
+    /// pretend cluster.
+    topo: Topology,
     /// Wall-clock trace recorder (same implementation the simulator
     /// backend uses, recording `Instant`-derived seconds instead of
     /// virtual time).
@@ -115,6 +120,20 @@ impl ThreadComm {
             self.recorder.span(kind, t0, t1, bytes, label);
         }
     }
+
+    /// Classify a transfer against the emulated topology: which level of
+    /// the (pretend) memory hierarchy served it.
+    #[inline]
+    fn classify(&mut self, serve: usize, bytes: u64) {
+        if serve == self.rank {
+            return;
+        }
+        if self.topo.same_domain(self.rank, serve) {
+            self.recorder.count_intragroup(bytes);
+        } else {
+            self.recorder.count_internode(bytes);
+        }
+    }
 }
 
 impl Comm for ThreadComm {
@@ -127,12 +146,14 @@ impl Comm for ThreadComm {
     }
 
     fn topology(&self) -> Topology {
-        Topology::single_domain(self.nranks)
+        self.topo
     }
 
-    fn prefer_direct_access(&self, _owner: usize) -> bool {
-        // Host shared memory is cacheable: the Altix flavor.
-        true
+    fn prefer_direct_access(&self, owner: usize) -> bool {
+        // Host shared memory is cacheable: the Altix flavor. Under an
+        // emulated cluster topology, off-node blocks must be fetched so
+        // hierarchical staging actually moves bytes.
+        self.topo.same_domain(self.rank, owner)
     }
 
     fn now(&self) -> f64 {
@@ -168,6 +189,7 @@ impl Comm for ThreadComm {
         let (rows, cols) = mat.copy_block_into(owner, buf);
         let bytes = (rows * cols * 8) as u64;
         self.recorder.count_fetch(bytes);
+        self.classify(mat.cost_rank(owner), bytes);
         self.span_end(TraceKind::Transfer, t0, bytes, || format!("get<-{owner}"));
         GetHandle::Ready
     }
@@ -175,7 +197,9 @@ impl Comm for ThreadComm {
     fn wait(&mut self, h: GetHandle) {
         match h {
             GetHandle::Ready => {}
-            GetHandle::Sim(_) => unreachable!("thread backend issues no simulated transfers"),
+            GetHandle::Sim(_) | GetHandle::Virt(_) => {
+                unreachable!("thread backend issues no simulated transfers")
+            }
         }
     }
 
@@ -183,6 +207,7 @@ impl Comm for ThreadComm {
         let t0 = self.span_start();
         mat.copy_block_from(owner, data);
         let bytes = mat.block_bytes(owner);
+        self.classify(mat.cost_rank(owner), bytes);
         self.span_end(TraceKind::Transfer, t0, bytes, || format!("put->{owner}"));
         GetHandle::Ready
     }
@@ -191,6 +216,7 @@ impl Comm for ThreadComm {
         let t0 = self.span_start();
         mat.acc_block_from(owner, scale, data);
         let bytes = mat.block_bytes(owner);
+        self.classify(mat.cost_rank(owner), bytes);
         self.span_end(TraceKind::Transfer, t0, bytes, || format!("acc->{owner}"));
     }
 
@@ -280,7 +306,7 @@ where
     T: Send,
     F: Fn(&mut ThreadComm) -> T + Sync,
 {
-    thread_run_inner(nranks, false, body)
+    thread_run_inner(nranks, false, None, body)
 }
 
 /// Like [`thread_run`], but every rank records wall-clock trace events
@@ -291,15 +317,34 @@ where
     T: Send,
     F: Fn(&mut ThreadComm) -> T + Sync,
 {
-    thread_run_inner(nranks, true, body)
+    thread_run_inner(nranks, true, None, body)
 }
 
-fn thread_run_inner<T, F>(nranks: usize, trace: bool, body: F) -> ThreadRunResult<T>
+/// Like [`thread_run`], but every rank sees `topo` instead of one flat
+/// shared-memory domain. Blocks owned off-(pretend-)node stop being
+/// directly accessible, so hierarchical schedules do real staging
+/// copies — on actual host memory, with the wall clock running.
+pub fn thread_run_with_topology<T, F>(nranks: usize, topo: Topology, body: F) -> ThreadRunResult<T>
+where
+    T: Send,
+    F: Fn(&mut ThreadComm) -> T + Sync,
+{
+    assert_eq!(topo.nranks(), nranks, "topology rank count mismatch");
+    thread_run_inner(nranks, false, Some(topo), body)
+}
+
+fn thread_run_inner<T, F>(
+    nranks: usize,
+    trace: bool,
+    topo: Option<Topology>,
+    body: F,
+) -> ThreadRunResult<T>
 where
     T: Send,
     F: Fn(&mut ThreadComm) -> T + Sync,
 {
     assert!(nranks > 0);
+    let topo = topo.unwrap_or_else(|| Topology::single_domain(nranks));
     let barrier = Arc::new(PoisonBarrier::new(nranks));
     // Channel matrix: edge (s, d) moves messages s → d.
     let mut txs: Vec<Vec<Option<Sender<Packet>>>> = vec![];
@@ -339,6 +384,7 @@ where
                     senders,
                     receivers,
                     t0,
+                    topo,
                     recorder: Recorder::new(rank, trace),
                     ws: GemmWorkspace::new(),
                 };

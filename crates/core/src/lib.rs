@@ -38,9 +38,11 @@ pub mod batch;
 pub mod cannon;
 pub mod chaos;
 pub mod driver;
+pub mod hier;
 pub mod layout;
 pub mod memory;
 pub mod options;
+pub mod repl;
 pub mod srumma;
 pub mod summa;
 pub mod taskorder;
@@ -52,6 +54,15 @@ pub use batch::{
 };
 pub use chaos::{ChaosRecovery, ChaosSrummaRankTask};
 pub use driver::SparseMasks;
-pub use options::{GemmSpec, ShmemFlavor, SrummaOptions};
+pub use hier::{
+    multiply_exec_hier, multiply_threads_hier, multiply_verified_hier, srumma_hier, HierRankTask,
+    HierReport, HierStageSet, HierStages,
+};
+pub use options::{GemmSpec, ReplicationFactor, ShmemFlavor, SrummaOptions};
+pub use repl::{
+    multiply_exec_replicated, multiply_threads_replicated, multiply_threads_replicated_hier,
+    multiply_verified_replicated, resolve_factor, srumma_replicated, srumma_replicated_hier,
+    ReplReport, ReplSet,
+};
 pub use srumma::{srumma as srumma_gemm, SrummaMachine, SrummaRankTask, SrummaReport};
 pub use summa::SummaOptions;

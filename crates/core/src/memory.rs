@@ -128,6 +128,37 @@ pub fn batch_arena_footprint(specs: &[GemmSpec], grid: ProcGrid, window: usize) 
     }
 }
 
+/// Per-rank bytes of a `c`-fold replicated multiply (see
+/// [`crate::repl`]): the rank's stored A/B slice blocks plus its team's
+/// C scratch block, all laid out on the *team* grid of `P/c` ranks.
+/// The operand slices shrink with `c` (each team sweeps `k/c`), but the
+/// C block grows `c`-fold — the classic replication memory trade.
+/// Includes the SRUMMA fetch-pipeline buffers for the team-sized
+/// problem.
+pub fn replicated_arena_footprint(
+    spec: &GemmSpec,
+    nranks: usize,
+    c: usize,
+    opts: &SrummaOptions,
+) -> Footprint {
+    assert!(
+        c >= 1 && nranks.is_multiple_of(c),
+        "c must divide the rank count"
+    );
+    let team = ProcGrid::near_square(nranks / c);
+    // Widest k-slice any team sweeps.
+    let kw = (0..c).map(|l| chunk_len(spec.k, c, l)).max().unwrap_or(0);
+    let team_spec = GemmSpec { k: kw, ..*spec };
+    let a = max_a_block_bytes(&team_spec, team);
+    let b = max_b_block_bytes(&team_spec, team);
+    let cblk = (chunk_len(spec.m, team.p, 0) * chunk_len(spec.n, team.q, 0) * 8) as u64;
+    let pipe = srumma_footprint(&team_spec, team, opts, false);
+    Footprint {
+        buffer_bytes: a + b + cblk + pipe.buffer_bytes,
+        buffers: 3 + pipe.buffers,
+    }
+}
+
 /// SUMMA's per-rank footprint for panel width `nb` (or the natural
 /// block panels): the received A and B strips.
 pub fn summa_footprint(spec: &GemmSpec, grid: ProcGrid, opts: &SummaOptions) -> Footprint {

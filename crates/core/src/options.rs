@@ -87,6 +87,28 @@ pub enum ShmemFlavor {
     ForceDirect,
 }
 
+/// How many replica teams a replicated multiply splits the machine
+/// into (see [`crate::repl`]): each of the `c` teams sweeps a disjoint
+/// `k`-slice over its own copy of the operand distribution, trading
+/// `c`-fold C scratch memory for a `c`-fold narrower communication
+/// sweep per team.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicationFactor {
+    /// No replication — the flat algorithm.
+    One,
+    /// Exactly `c` teams. The run panics if `c` is inadmissible
+    /// (must divide the rank count, respect node boundaries, and not
+    /// exceed `k`).
+    Fixed(usize),
+    /// The largest admissible `c` whose per-rank replicated footprint
+    /// (see [`crate::memory::replicated_arena_footprint`]) fits the
+    /// byte budget. Always admits `c = 1`, so `Auto` never fails.
+    Auto {
+        /// Per-rank arena byte budget the replicas must fit in.
+        budget_bytes: u64,
+    },
+}
+
 /// SRUMMA scheduling options; the defaults are the paper's algorithm,
 /// the `false` settings are the ablation knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

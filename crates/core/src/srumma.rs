@@ -20,6 +20,7 @@
 //! only barrier is the closing one that makes C globally visible,
 //! which is what makes SRUMMA "more asynchronous" than Cannon/SUMMA.
 
+use crate::hier::HierStages;
 use crate::layout::{a_owner, a_seg_view, b_owner, b_seg_view};
 use crate::options::{GemmSpec, ShmemFlavor, SrummaOptions};
 use crate::taskorder::{build_tasks_into, diagonal_shift_origin, order_tasks_into, Task};
@@ -207,6 +208,10 @@ pub struct SrummaMachine<'a> {
     ccols: usize,
     pos: usize,
     report: SrummaReport,
+    /// Hierarchical staging redirect (see [`crate::hier`]): when set,
+    /// fetches of off-node panels that the group staged are served from
+    /// the group's staging matrices instead of the remote owner.
+    hier: Option<HierStages<'a>>,
 }
 
 impl<'a> SrummaMachine<'a> {
@@ -374,7 +379,19 @@ impl<'a> SrummaMachine<'a> {
             tasks,
             order,
             sources,
+            hier: None,
         }
+    }
+
+    /// Attach the hierarchical staging redirect: panels whose owner is
+    /// off-node *and* which the group's staging pass landed (shared by
+    /// at least two members — the same predicate the staging pass uses)
+    /// are fetched from the group's staging matrices, pricing as
+    /// intra-node copies. Call between [`SrummaMachine::new`] and the
+    /// first [`SrummaMachine::step`], after the staging barrier.
+    pub fn with_hier(mut self, stages: HierStages<'a>) -> Self {
+        self.hier = Some(stages);
+        self
     }
 
     /// Whether any task remains to run.
@@ -412,9 +429,13 @@ impl<'a> SrummaMachine<'a> {
             let nt = &self.tasks[nidx];
             let (nsa, nsb) = self.sources[pos + ahead];
             if let Source::Fetch { owner } = nsa {
+                let mat = match &self.hier {
+                    Some(h) => h.a_mat(self.a, owner),
+                    None => self.a,
+                };
                 self.a_pipe.ensure_issued(
                     comm,
-                    self.a,
+                    mat,
                     owner,
                     nt.la,
                     &self.wa,
@@ -422,9 +443,13 @@ impl<'a> SrummaMachine<'a> {
                 );
             }
             if let Source::Fetch { owner } = nsb {
+                let mat = match &self.hier {
+                    Some(h) => h.b_mat(self.b, owner),
+                    None => self.b,
+                };
                 self.b_pipe.ensure_issued(
                     comm,
-                    self.b,
+                    mat,
                     owner,
                     nt.lb,
                     &self.wb,

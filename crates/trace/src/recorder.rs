@@ -28,6 +28,17 @@ pub struct Counters {
     pub tasks_reexecuted: u64,
     /// Injected fault delays observed (spiked gets, stretched compute).
     pub delays_injected: u64,
+    /// Bytes moved between shared-memory domains (the hierarchical
+    /// schedule's headline metric: one-sided transfers whose cost
+    /// endpoint lives on a different node).
+    pub bytes_internode: u64,
+    /// Transfers moved between shared-memory domains.
+    pub blocks_internode: u64,
+    /// Bytes moved within a shared-memory domain but between distinct
+    /// ranks (groupmate reads off a staged panel, intra-node puts).
+    pub bytes_intragroup: u64,
+    /// Transfers moved within a domain between distinct ranks.
+    pub blocks_intragroup: u64,
 }
 
 impl Counters {
@@ -42,6 +53,10 @@ impl Counters {
         self.flops_skipped += other.flops_skipped;
         self.tasks_reexecuted += other.tasks_reexecuted;
         self.delays_injected += other.delays_injected;
+        self.bytes_internode += other.bytes_internode;
+        self.blocks_internode += other.blocks_internode;
+        self.bytes_intragroup += other.bytes_intragroup;
+        self.blocks_intragroup += other.blocks_intragroup;
     }
 }
 
@@ -154,6 +169,20 @@ impl Recorder {
         self.counters.delays_injected += 1;
     }
 
+    /// Count one transfer crossing a shared-memory domain boundary.
+    #[inline]
+    pub fn count_internode(&mut self, bytes: u64) {
+        self.counters.bytes_internode += bytes;
+        self.counters.blocks_internode += 1;
+    }
+
+    /// Count one transfer between distinct ranks of the same domain.
+    #[inline]
+    pub fn count_intragroup(&mut self, bytes: u64) {
+        self.counters.bytes_intragroup += bytes;
+        self.counters.blocks_intragroup += 1;
+    }
+
     /// The events recorded so far.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
@@ -213,6 +242,9 @@ mod tests {
             flops_skipped: 600,
             tasks_reexecuted: 1,
             delays_injected: 4,
+            bytes_internode: 7,
+            blocks_internode: 1,
+            ..Default::default()
         };
         a.merge(&Counters {
             bytes_fetched: 5,
@@ -224,6 +256,10 @@ mod tests {
             flops_skipped: 400,
             tasks_reexecuted: 2,
             delays_injected: 1,
+            bytes_internode: 3,
+            blocks_internode: 1,
+            bytes_intragroup: 9,
+            blocks_intragroup: 2,
         });
         assert_eq!(a.bytes_fetched, 15);
         assert_eq!(a.tasks, 4);
@@ -231,6 +267,10 @@ mod tests {
         assert_eq!(a.flops_skipped, 1000);
         assert_eq!(a.tasks_reexecuted, 3);
         assert_eq!(a.delays_injected, 5);
+        assert_eq!(a.bytes_internode, 10);
+        assert_eq!(a.blocks_internode, 2);
+        assert_eq!(a.bytes_intragroup, 9);
+        assert_eq!(a.blocks_intragroup, 2);
     }
 
     #[test]

@@ -45,6 +45,12 @@ pub struct RankStats {
     pub tasks_reexecuted: u64,
     /// Injected fault delays observed by this rank.
     pub delays_injected: u64,
+    /// Bytes this rank moved across shared-memory domain boundaries
+    /// (the hierarchical schedule's headline cost).
+    pub bytes_internode: u64,
+    /// Bytes this rank moved within its domain but between distinct
+    /// ranks (staged-panel reads, intra-node puts).
+    pub bytes_intragroup: u64,
     /// Sum over async transfers of their in-flight duration
     /// (issue→completion). Together with `wait_time` this yields the
     /// achieved overlap fraction.
@@ -81,6 +87,8 @@ impl RankStats {
         self.flops_skipped += ctr.flops_skipped;
         self.tasks_reexecuted += ctr.tasks_reexecuted;
         self.delays_injected += ctr.delays_injected;
+        self.bytes_internode += ctr.bytes_internode;
+        self.bytes_intragroup += ctr.bytes_intragroup;
     }
 }
 
@@ -172,6 +180,16 @@ impl RunStats {
     /// Total bytes read directly in place (no copy).
     pub fn total_direct_bytes(&self) -> u64 {
         self.ranks.iter().map(|r| r.bytes_direct).sum()
+    }
+
+    /// Total bytes moved across shared-memory domain boundaries.
+    pub fn total_internode_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_internode).sum()
+    }
+
+    /// Total bytes moved within domains between distinct ranks.
+    pub fn total_intragroup_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_intragroup).sum()
     }
 
     /// Mean achieved overlap across ranks that communicated
@@ -311,6 +329,8 @@ impl RunStats {
         o.int("bytes_shm", self.total_shm_bytes());
         o.int("bytes_fetched", self.total_fetched_bytes());
         o.int("bytes_direct", self.total_direct_bytes());
+        o.int("internode_bytes", self.total_internode_bytes());
+        o.int("intragroup_bytes", self.total_intragroup_bytes());
         o.num("stall_time_seconds", self.total_stall_time());
         o.num("makespan_skew", self.makespan_skew());
         o.int("tasks", self.total_tasks());

@@ -68,6 +68,31 @@ timeout 300 env SRUMMA_KERNEL=scalar cargo test -q --release -p srumma --test pr
 # bit-identical virtual-time results internally.
 timeout 300 cargo test -q --release -p srumma --test property_chaos
 
+echo "== hierarchical smoke: 4096 simulated ranks on the virtual backend =="
+# Two-level node-group staging at CI-feasible scale: 4096 LogGP rank
+# clocks on the host pool. The bench itself hard-fails (exit 1) unless
+# the hierarchical schedule moves strictly fewer inter-node bytes than
+# flat at 4096 ranks; hangs in the staging fence or the replica
+# reduction are bounded by the timeout.
+timeout 300 cargo run --release -q -p srumma-bench \
+    --bin bench_hierarchy -- --smoke --out /tmp/BENCH_hierarchy.json
+
+echo "== perf gate (warn): hierarchical inter-node bytes =="
+# Diff the smoke point against the checked-in crossover baseline on the
+# internode_bytes_* keys (registered lower-is-better). The byte counts
+# are deterministic model outputs, so the tight per-key threshold only
+# trips when the staging algorithm or the cost model changes — but keep
+# it warn-only so an intentional model change reads as a diff to
+# re-baseline, not a red CI.
+if [ -f results/BENCH_hierarchy.json ]; then
+    if ! ./scripts/bench_diff results/BENCH_hierarchy.json /tmp/BENCH_hierarchy.json \
+        --strict --only internode_bytes --threshold internode_bytes=0.5; then
+        echo "WARNING: hierarchical inter-node bytes moved vs checked-in baseline (warn-only gate)"
+    fi
+else
+    echo "no checked-in baseline (results/BENCH_hierarchy.json); skipping"
+fi
+
 echo "== perf gate (warn): straggler degradation ratio =="
 # SRUMMA's one-sided gets must keep degrading more gracefully than
 # SUMMA's broadcasts under a single straggler. The bench itself hard-
