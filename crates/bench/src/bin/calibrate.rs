@@ -2,11 +2,16 @@
 //! anchor points (DESIGN.md §6), sweep the host's gemm cache-block
 //! sizes (`--blocks`), compare the micro-kernel flavors and pack
 //! layouts (`--kernels`), find the Strassen recursion cutoff
-//! (`--strassen`), probe the work-stealing executor's worker count
-//! (`--workers`), find the batched-driver amortization crossover
-//! (`--batch`), and probe node-group sizes / replication factors for
-//! the hierarchical driver (`--topology`, which also writes
-//! `results/topology_profile.json` for deployments to consume).
+//! (`--strassen`), probe the work-stealing executor's worker count and
+//! prefetch depth (`--workers`), find the batched-driver amortization
+//! crossover and best slot-ring window (`--batch`), and probe
+//! node-group sizes / replication factors for the hierarchical driver
+//! (`--topology`, which also writes `topology_profile.json`).
+//!
+//! Every probe flag merge-updates the persisted host profile
+//! (`<results_dir>/host_profile.json`, see `srumma_core::tune`), which
+//! `SrummaOptions::from_profile` loads to resolve the `Auto` knobs;
+//! `--all` runs every probe and writes the whole profile in one go.
 //! `--list-kernels` prints the kernels available on this host one per
 //! line (the `scripts/ci.sh` flavor loop consumes it). Not a figure —
 //! a development tool.
@@ -17,8 +22,8 @@ use srumma_core::driver::{multiply_exec, multiply_threads};
 use srumma_core::memory::replicated_arena_footprint;
 use srumma_core::repl::admissible_factor;
 use srumma_core::{
-    multiply_threads_hier, multiply_threads_replicated, Algorithm, GemmSpec, ReplicationFactor,
-    SrummaOptions,
+    multiply_threads_hier, multiply_threads_replicated, Algorithm, GemmSpec, HostProfile,
+    ReplicationFactor, SrummaOptions,
 };
 use srumma_dense::blocked::{blocked_gemm_ws, BlockSizes, STRASSEN_MIN_CUTOFF};
 use srumma_dense::kernel::host_kernel_summary;
@@ -30,8 +35,9 @@ use std::time::Instant;
 /// Probe candidate `MC/KC/NC` block sizes on this host: time a
 /// representative SRUMMA task-block multiply under each candidate and
 /// report GFLOP/s, so the [`BlockSizes`] default can be retuned from
-/// evidence instead of guesswork.
-fn probe_block_sizes() {
+/// evidence instead of guesswork. Returns the winner as a partial
+/// profile.
+fn probe_block_sizes() -> HostProfile {
     let n = 384; // between the 256/500 task-block sizes, exceeds MC/NC
     let a = Matrix::random(n, n, 1);
     let b = Matrix::random(n, n, 2);
@@ -84,6 +90,10 @@ fn probe_block_sizes() {
         BlockSizes::default().kc,
         BlockSizes::default().nc,
     );
+    HostProfile {
+        blocks: Some(best.1),
+        ..HostProfile::new()
+    }
 }
 
 /// Probe the micro-kernel flavors on this host: GFLOP/s of every
@@ -91,11 +101,14 @@ fn probe_block_sizes() {
 /// layouts, so the `SRUMMA_KERNEL` / `SRUMMA_LAYOUT` defaults for a
 /// deployment come from evidence instead of ISA folklore (a one-FMA-
 /// port AVX-512 host can genuinely prefer the AVX2 kernel).
-fn probe_kernels() {
+fn probe_kernels() -> HostProfile {
     println!(
         "micro-kernel probe on this host ({})",
         host_kernel_summary()
     );
+    // Profile winner: best GFLOP/s at the largest probed size (the
+    // most representative of real task blocks).
+    let mut overall = (0.0f64, active_kernel(), PackLayout::Linear);
     for &n in &[128usize, 256, 500] {
         let a = Matrix::random(n, n, 1);
         let b = Matrix::random(n, n, 2);
@@ -139,6 +152,9 @@ fn probe_kernels() {
                 if gf > best.0 {
                     best = (gf, kernel.name(), layout);
                 }
+                if n == 500 && gf > overall.0 {
+                    overall = (gf, kernel, layout);
+                }
             }
         }
         println!(
@@ -148,13 +164,18 @@ fn probe_kernels() {
             fmt(best.0)
         );
     }
+    HostProfile {
+        kernel: Some(overall.1),
+        layout: Some(overall.2),
+        ..HostProfile::new()
+    }
 }
 
 /// Probe the Strassen cutoff on this host: time a large square multiply
 /// blocked-only and Strassen-routed at a range of cutoffs, and report
 /// the break-even point — the value a deployment should feed
 /// `SRUMMA_STRASSEN` (or leave it off if no cutoff wins).
-fn probe_strassen() {
+fn probe_strassen() -> HostProfile {
     let n = 1024;
     let a = Matrix::random(n, n, 1);
     let b = Matrix::random(n, n, 2);
@@ -214,13 +235,20 @@ fn probe_strassen() {
         ),
         None => println!("break-even: none — leave SRUMMA_STRASSEN off on this host"),
     }
+    HostProfile {
+        // Probed either way: `Some(None)` records "recursion loses
+        // here" so a stale win in an old profile gets overwritten.
+        strassen: Some(best.map(|(cutoff, _)| cutoff)),
+        ..HostProfile::new()
+    }
 }
 
 /// Probe executor worker counts on this host: run an oversubscribed
 /// SRUMMA multiply (64 logical ranks) on pools of 1..8 workers and
 /// report wall time, occupancy and steal rate, so deployments can pick
-/// a ranks-per-worker ratio from evidence instead of guesswork.
-fn probe_workers() {
+/// a ranks-per-worker ratio from evidence instead of guesswork. A
+/// second sweep at the winning pool size probes the prefetch depth.
+fn probe_workers() -> HostProfile {
     let nranks = 64;
     let spec = GemmSpec::square(256);
     let a = Matrix::random(spec.m, spec.k, 1);
@@ -265,14 +293,42 @@ fn probe_workers() {
         nranks / best.1,
         best.0 * 1e3
     );
+
+    // Prefetch-depth sweep at the winning pool size.
+    println!("prefetch-depth probe at workers={}:", best.1);
+    let mut best_depth = (f64::INFINITY, 1usize);
+    for &depth in &[1usize, 2, 4] {
+        let opts = SrummaOptions {
+            prefetch_depth: depth,
+            ..SrummaOptions::default()
+        };
+        let alg = Algorithm::Srumma(opts);
+        let _ = multiply_exec(nranks, best.1, &alg, &spec, &a, &b); // warm-up
+        let mut min = f64::INFINITY;
+        for _ in 0..3 {
+            let (_, res) = multiply_exec(nranks, best.1, &alg, &spec, &a, &b);
+            min = min.min(res.wall_seconds);
+        }
+        println!("  depth={depth:<2} {:>8.2} ms", min * 1e3);
+        if min < best_depth.0 {
+            best_depth = (min, depth);
+        }
+    }
+    println!("best: prefetch depth {}", best_depth.1);
+    HostProfile {
+        workers: Some(best.1),
+        prefetch_depth: Some(best_depth.1),
+        ..HostProfile::new()
+    }
 }
 
 /// Probe the batched driver's amortization crossover on this host: run
 /// streams of B small multiplies as a loop of standalone `multiply_exec`
 /// calls and as one `multiply_batch_exec`, and report the smallest B
 /// where the batched path wins — the point past which callers with a
-/// stream of tiles should switch to `BatchSpec`.
-fn probe_batch() {
+/// stream of tiles should switch to `BatchSpec`. A second sweep at the
+/// longest stream probes the slot-ring window.
+fn probe_batch() -> HostProfile {
     let (nranks, n) = (16usize, 64usize);
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -328,6 +384,37 @@ fn probe_batch() {
         Some(b) => println!("crossover: batched wins from batch size {b} on this host"),
         None => println!("crossover: batched never won up to batch size 32 on this host"),
     }
+
+    // Window sweep on a 16-entry stream: how much look-ahead (and
+    // therefore slot-ring memory) actually pays on this host.
+    let mut batch = BatchSpec::new();
+    for e in 0..16 {
+        let spec = GemmSpec::square(n);
+        let a = Matrix::random(n, n, 700 + 2 * e as u64);
+        let bm = Matrix::random(n, n, 701 + 2 * e as u64);
+        batch.push(BatchEntry::new(spec, a, bm));
+    }
+    println!("slot-ring window probe (16 entries, {n}x{n} tiles, best of 3):");
+    let mut best_window = (f64::INFINITY, 3usize);
+    for &w in &[1usize, 2, 3, 4, 6, 8] {
+        let wb = batch.clone().with_window(w);
+        let _ = multiply_batch_exec(&wb, nranks, workers); // warm-up
+        let mut min = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let _ = multiply_batch_exec(&wb, nranks, workers);
+            min = min.min(t0.elapsed().as_secs_f64());
+        }
+        println!("  window={w:<2} {:>8.2} ms", min * 1e3);
+        if min < best_window.0 {
+            best_window = (min, w);
+        }
+    }
+    println!("best: window {}", best_window.1);
+    HostProfile {
+        batch_window: Some(best_window.1),
+        ..HostProfile::new()
+    }
 }
 
 /// Probe node-group sizes and replication factors on this host: run
@@ -336,7 +423,7 @@ fn probe_batch() {
 /// `ranks_per_node` / `c` values at a fixed rank count, report wall
 /// times and the crossover (best group size, best factor), and write
 /// the result as a small JSON profile to
-/// `results/topology_profile.json` so deployments can feed the
+/// `<results_dir>/topology_profile.json` so deployments can feed the
 /// measured winners back into `SrummaOptions` instead of guessing.
 ///
 /// Host threads are real but the "network" between node groups is
@@ -344,7 +431,7 @@ fn probe_batch() {
 /// without banking the inter-node savings — on most hosts flat wins
 /// and the profile records *by how much*, which is exactly the
 /// overhead a real cluster run must amortize.
-fn probe_topology() {
+fn probe_topology() -> HostProfile {
     let nranks = 16usize;
     let spec = GemmSpec::square(512);
     let a = Matrix::random(spec.m, spec.k, 1);
@@ -405,7 +492,7 @@ fn probe_topology() {
     // only, with the per-rank arena cost alongside the time so the
     // profile captures the memory side of the trade too.
     let topo = Topology::new(nranks, best_group.1);
-    let mut best_c = (f64::INFINITY, 1usize);
+    let mut best_c = (f64::INFINITY, 1usize, 0u64);
     for c in (1..=nranks).filter(|&c| admissible_factor(nranks, topo, spec.k, c)) {
         let arena = replicated_arena_footprint(&spec, nranks, c, &opts).buffer_bytes;
         let t = best_of_3(&mut || {
@@ -429,7 +516,7 @@ fn probe_topology() {
         profile.num(&format!("repl_seconds_c{c}"), t);
         profile.num(&format!("repl_arena_bytes_c{c}"), arena as f64);
         if t < best_c.0 {
-            best_c = (t, c);
+            best_c = (t, c, arena as u64);
         }
     }
     profile.num("best_replication_factor", best_c.1 as f64);
@@ -441,15 +528,24 @@ fn probe_topology() {
         best_c.1,
         (best_c.0 / flat - 1.0) * 100.0
     );
-    let path = "results/topology_profile.json";
-    match std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write(path, profile.finish() + "\n"))
-    {
-        Ok(()) => println!("wrote {path}"),
+    match srumma_trace::ensure_results_dir().and_then(|dir| {
+        let path = dir.join("topology_profile.json");
+        std::fs::write(&path, profile.finish() + "\n")?;
+        Ok(path)
+    }) {
+        Ok(path) => println!("wrote {}", path.display()),
         Err(e) => {
-            eprintln!("failed to write {path}: {e}");
+            eprintln!("failed to write topology_profile.json: {e}");
             std::process::exit(1);
         }
+    }
+    HostProfile {
+        ranks_per_node: Some(best_group.1),
+        // Budget the replication arena at the measured winner: Auto will
+        // then pick the largest admissible c that fits what this host
+        // demonstrably benefited from.
+        replication_budget_bytes: Some(best_c.2),
+        ..HostProfile::new()
     }
 }
 
@@ -464,28 +560,37 @@ fn main() {
         }
         return;
     }
-    if std::env::args().any(|a| a == "--kernels") {
-        probe_kernels();
-        return;
-    }
-    if std::env::args().any(|a| a == "--strassen") {
-        probe_strassen();
-        return;
-    }
-    if std::env::args().any(|a| a == "--blocks") {
-        probe_block_sizes();
-        return;
-    }
-    if std::env::args().any(|a| a == "--workers") {
-        probe_workers();
-        return;
-    }
-    if std::env::args().any(|a| a == "--batch") {
-        probe_batch();
-        return;
-    }
-    if std::env::args().any(|a| a == "--topology") {
-        probe_topology();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.iter().any(|a| a == "--all");
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+    // Probe order is deliberate: the kernel/layout winner is baked into
+    // the process-global gemm state, so it runs first and the remaining
+    // probes measure the host as the profile will configure it.
+    type Probe = (&'static str, fn() -> HostProfile);
+    let probes: Vec<Probe> = vec![
+        ("--kernels", probe_kernels),
+        ("--blocks", probe_block_sizes),
+        ("--strassen", probe_strassen),
+        ("--workers", probe_workers),
+        ("--batch", probe_batch),
+        ("--topology", probe_topology),
+    ];
+    if probes.iter().any(|(flag, _)| want(flag)) {
+        // Merge-update: each probe yields a partial profile; fields it
+        // did not measure stay whatever a previous calibration wrote.
+        let mut profile = HostProfile::load_default().unwrap_or_else(|_| HostProfile::new());
+        for (flag, probe) in probes {
+            if want(flag) {
+                profile.merge(&probe());
+            }
+        }
+        match profile.save_default() {
+            Ok(()) => println!("wrote {}", HostProfile::default_path().display()),
+            Err(e) => {
+                eprintln!("failed to write host profile: {e}");
+                std::process::exit(1);
+            }
+        }
         return;
     }
     let t0 = std::time::Instant::now();

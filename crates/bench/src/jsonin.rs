@@ -1,321 +1,8 @@
-//! A minimal JSON reader for the workspace's own report documents.
+//! Re-export of the workspace JSON reader.
 //!
-//! The workspace builds offline with no external crates, so the
-//! `BENCH_*.json` reports written through `srumma_trace::json` are read
-//! back with this hand-rolled parser (`bench_diff` compares two of
-//! them). It parses full JSON — objects, arrays, strings with escapes,
-//! numbers, booleans, null — into a small [`Json`] tree; it does not
-//! aim to be fast or to validate every dark corner of the grammar, just
-//! to round-trip what the writer emits.
+//! The parser lived here originally, but `srumma-core` needs it to load
+//! `host_profile.json` and cannot depend on the bench harness, so the
+//! implementation moved down to `srumma_trace::jsonin`. This shim keeps
+//! the `srumma_bench::jsonin::Json` path (used by `bench_diff`) stable.
 
-use std::collections::BTreeMap;
-
-/// A parsed JSON value.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Array(Vec<Json>),
-    /// Object with key order discarded (comparisons are by key).
-    Object(BTreeMap<String, Json>),
-}
-
-impl Json {
-    /// Parse a complete JSON document (trailing whitespace allowed).
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing garbage at byte {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    /// Member lookup on an object; `None` otherwise.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Object(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    /// The numeric value, if this is a number.
-    pub fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    /// The string value, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The members, if this is an object.
-    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
-        match self {
-            Json::Object(m) => Some(m),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected {:?} at byte {}, found {:?}",
-                b as char,
-                self.pos,
-                self.peek().map(|c| c as char)
-            ))
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(format!("invalid literal at byte {}", self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            other => Err(format!(
-                "unexpected {:?} at byte {}",
-                other.map(|c| c as char),
-                self.pos
-            )),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let val = self.value()?;
-            map.insert(key, val);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(map));
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or '}}' at byte {}, found {:?}",
-                        self.pos,
-                        other.map(|c| c as char)
-                    ))
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or ']' at byte {}, found {:?}",
-                        self.pos,
-                        other.map(|c| c as char)
-                    ))
-                }
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".to_string()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                            self.pos += 4;
-                            // Surrogate pairs are not emitted by our
-                            // writer; map lone surrogates to U+FFFD.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
-                        other => return Err(format!("bad escape {:?}", other as char)),
-                    }
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (possibly multi-byte).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                    let ch = s.chars().next().unwrap();
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|e| format!("bad number {text:?}: {e}"))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_scalars() {
-        assert_eq!(Json::parse("null").unwrap(), Json::Null);
-        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
-        assert_eq!(Json::parse(" -1.5e3 ").unwrap(), Json::Num(-1500.0));
-        assert_eq!(
-            Json::parse("\"a\\n\\\"b\\\"\"").unwrap(),
-            Json::Str("a\n\"b\"".to_string())
-        );
-    }
-
-    #[test]
-    fn parses_nested_structures() {
-        let v = Json::parse(r#"{"a": [1, 2, {"b": null}], "c": {"d": false}}"#).unwrap();
-        assert_eq!(v.get("c").unwrap().get("d"), Some(&Json::Bool(false)));
-        match v.get("a").unwrap() {
-            Json::Array(items) => {
-                assert_eq!(items.len(), 3);
-                assert_eq!(items[0], Json::Num(1.0));
-            }
-            other => panic!("expected array, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn roundtrips_the_writer_output() {
-        // What bench_report_json emits must parse back.
-        let mut metrics = srumma_trace::json::JsonObject::new();
-        metrics.num("makespan_seconds", 1.25);
-        metrics.null("mean_overlap");
-        metrics.str("note", "quoted \"text\" and unicode: λ");
-        metrics.raw("per_rank", &srumma_trace::json::array_f64(&[0.5, 1.0]));
-        let doc = srumma_trace::bench_report_json("t", "sim", "[]", &metrics.finish());
-        let v = Json::parse(&doc).unwrap();
-        assert_eq!(v.get("bench").unwrap().as_str(), Some("t"));
-        let m = v.get("metrics").unwrap();
-        assert_eq!(m.get("makespan_seconds").unwrap().as_num(), Some(1.25));
-        assert_eq!(m.get("mean_overlap"), Some(&Json::Null));
-        assert_eq!(
-            m.get("note").unwrap().as_str(),
-            Some("quoted \"text\" and unicode: λ")
-        );
-    }
-
-    #[test]
-    fn rejects_malformed_documents() {
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1, ]").is_err());
-        assert!(Json::parse("{\"a\" 1}").is_err());
-        assert!(Json::parse("12 34").is_err());
-        assert!(Json::parse("\"open").is_err());
-    }
-}
+pub use srumma_trace::jsonin::Json;

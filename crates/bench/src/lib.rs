@@ -12,18 +12,19 @@ use srumma_core::{Algorithm, GemmSpec, SrummaOptions, SummaOptions};
 use srumma_model::Machine;
 use srumma_sim::RunStats;
 use std::io::Write;
-use std::path::Path;
 
 pub mod jsonin;
 pub mod timing;
 
-/// Write a JSON report under `results/BENCH_<name>.json` (the unified
-/// trace + metrics document the figure harnesses emit).
+/// Write a JSON report under `<results_dir>/BENCH_<name>.json` (the
+/// unified trace + metrics document the figure harnesses emit). The
+/// directory is the repo's `results/` — or `SRUMMA_RESULTS_DIR` —
+/// regardless of the cwd the binary was launched from
+/// (`srumma_trace::results_dir`).
 pub fn write_bench_json(name: &str, json: &str) {
-    let dir = Path::new("results");
-    if std::fs::create_dir_all(dir).is_err() {
+    let Ok(dir) = srumma_trace::ensure_results_dir() else {
         return;
-    }
+    };
     let path = dir.join(format!("BENCH_{name}.json"));
     if std::fs::write(&path, json).is_ok() {
         eprintln!("wrote {}", path.display());
@@ -62,12 +63,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Write the same table as CSV under `results/<name>.csv`.
+/// Write the same table as CSV under `<results_dir>/<name>.csv`.
 pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
-    let dir = Path::new("results");
-    if std::fs::create_dir_all(dir).is_err() {
+    let Ok(dir) = srumma_trace::ensure_results_dir() else {
         return;
-    }
+    };
     let path = dir.join(format!("{name}.csv"));
     let Ok(mut f) = std::fs::File::create(&path) else {
         return;

@@ -1044,6 +1044,26 @@ fn seed(core: &SchedCore) {
     }
 }
 
+/// The worker-pool size an executor run will actually use for a
+/// `requested` count: `0` means *auto* (host parallelism, capped at 8 —
+/// the same default every bench harness uses), and any request is
+/// clamped to `[1, nranks]` since a worker beyond one-per-rank can
+/// never hold a task. All `exec_run*` entry points apply this, so the
+/// auto-tuner's probe path can pass worker candidates — including the
+/// auto sentinel — straight through and still report the *resolved*
+/// count it measured.
+pub fn resolve_workers(requested: usize, nranks: usize) -> usize {
+    let requested = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8)
+    } else {
+        requested
+    };
+    requested.clamp(1, nranks.max(1))
+}
+
 /// Run `body` once per rank on the executor: every rank gets a
 /// dedicated thread, but only `workers` of them run at any moment — a
 /// blocking point inside hands the worker slot to another rank instead
@@ -1094,7 +1114,7 @@ where
     F: Fn(&mut ExecComm) -> T + Sync,
 {
     assert!(nranks > 0);
-    let workers = workers.clamp(1, nranks);
+    let workers = resolve_workers(workers, nranks);
     let core = SchedCore::new(nranks, workers, trace, topo);
     seed(&core);
     let slots: Vec<TaskSlot<'_, T>> = (0..nranks).map(|_| TaskSlot::Gate).collect();
@@ -1181,7 +1201,7 @@ where
     F: FnMut(ExecComm) -> Box<dyn RankTask<Out = T> + Send + 'env>,
 {
     assert!(nranks > 0);
-    let workers = workers.clamp(1, nranks);
+    let workers = resolve_workers(workers, nranks);
     let core = SchedCore::new(nranks, workers, trace, topo);
     let slots: Vec<TaskSlot<'env, T>> = (0..nranks)
         .map(|rank| {

@@ -51,7 +51,7 @@ pub use comm::{BlockMut, BlockRef, Comm, GetHandle};
 pub use dist::{CostMap, DistMatrix};
 pub use exec::{
     exec_run, exec_run_tasks, exec_run_tasks_with_topology, exec_run_traced,
-    exec_run_with_topology, ExecComm, ExecRunResult, RankTask, Step,
+    exec_run_with_topology, resolve_workers, ExecComm, ExecRunResult, RankTask, Step,
 };
 pub use fault::{ChaosComm, FaultPlan, RankDeath};
 pub use simbackend::{sim_run, ComputeMode, SimComm, SimOptions};

@@ -47,6 +47,7 @@ use crate::layout::{dist_a_in_arena, dist_b_in_arena, dist_c_in_arena};
 use crate::memory::batch_region_elems;
 use crate::options::{GemmSpec, SrummaOptions};
 use crate::srumma::{MachineScratch, SrummaMachine, SrummaReport};
+use crate::tune::{TunerCell, TunerStep};
 use srumma_comm::{
     exec_run_tasks, sim_run, thread_run, Comm, DistMatrix, ExecComm, RankTask, SharedArena,
     SimOptions, Step,
@@ -213,6 +214,16 @@ fn build_storage(
         }
     }
     let (arena, _offsets) = SharedArena::new(&lens);
+    // Clamp explicit cache blocks to the stream's high-water shape,
+    // once for the whole batch: per-rank workspaces then size for what
+    // the largest entry can touch instead of a profile's paper-scale
+    // maxima, while every entry still sees the *same* gemm config, so
+    // configure_gemm stays idempotent and grow-at-most-once holds.
+    // (`min(block, dim)` never changes the tiling of a call whose dims
+    // fit the clamp — bitwise-neutral; see `GemmConfig::clamped_to`.)
+    let (hm, hk, hn) = batch.entries.iter().fold((0, 0, 0), |(m, k, n), e| {
+        (m.max(e.spec.m), k.max(e.spec.k), n.max(e.spec.n))
+    });
     let plans = batch
         .entries
         .iter()
@@ -230,7 +241,7 @@ fn build_storage(
             }
             EntryPlan {
                 spec: entry.spec,
-                opts: batch.entry_opts(e),
+                opts: batch.entry_opts(e).clamp_gemm_to(hm, hk, hn),
                 da,
                 db,
                 dc: dist_c_in_arena(&entry.spec, grid, Arc::clone(&arena), base + 2, 3),
@@ -330,6 +341,7 @@ fn run_rank_blocking<C: Comm>(
     plans: &[EntryPlan],
     outputs: &[Mutex<Matrix>],
     window: usize,
+    tuner: Option<&TunerCell>,
 ) -> BatchRankOut {
     let n = plans.len();
     let rank = comm.rank();
@@ -356,8 +368,17 @@ fn run_rank_blocking<C: Comm>(
      -> (SrummaReport, MachineScratch) {
         let plan = &plans[e];
         let t0 = comm.now();
+        // On blocking backends only the depth knob applies (the window
+        // is a barrier cadence here, not a look-ahead). `new_reusing`
+        // copies the options, so a stack-local tuned copy is safe.
+        let mut eopts = plan.opts;
+        if let Some(t) = tuner {
+            if eopts.double_buffer {
+                eopts.prefetch_depth = t.setting_for(e).0;
+            }
+        }
         let mut machine = SrummaMachine::new_reusing(
-            comm, &plan.spec, &plan.da, &plan.db, &plan.dc, &plan.opts, scratch,
+            comm, &plan.spec, &plan.da, &plan.db, &plan.dc, &eopts, scratch,
         );
         while machine.step(comm) {}
         let (report, scratch) = machine.into_scratch();
@@ -383,6 +404,9 @@ fn run_rank_blocking<C: Comm>(
             let (report, s) = compute(comm, e, scratch, &mut samples);
             scratch = s;
             reports.push(report);
+            if let Some(t) = tuner {
+                t.record(e, samples[e].compute_s);
+            }
             fence(comm, &mut samples[e]);
             samples[e].t_end = comm.now();
         }
@@ -393,6 +417,9 @@ fn run_rank_blocking<C: Comm>(
             let (report, s) = compute(comm, e, scratch, &mut samples);
             scratch = s;
             reports.push(report);
+            if let Some(t) = tuner {
+                t.record(e, samples[e].compute_s);
+            }
             fence(comm, &mut samples[e]);
             samples[e].t_end = comm.now();
         }
@@ -433,6 +460,7 @@ pub struct BatchRankTask<'a> {
     plans: &'a [EntryPlan],
     outputs: &'a [Mutex<Matrix>],
     window: usize,
+    tuner: Option<&'a TunerCell>,
     state: BatchState,
     machine: Option<SrummaMachine<'a>>,
     scratch: MachineScratch,
@@ -456,6 +484,7 @@ impl<'a> BatchRankTask<'a> {
         plans: &'a [EntryPlan],
         outputs: &'a [Mutex<Matrix>],
         window: usize,
+        tuner: Option<&'a TunerCell>,
     ) -> Self {
         let n = plans.len();
         BatchRankTask {
@@ -464,6 +493,7 @@ impl<'a> BatchRankTask<'a> {
             plans,
             outputs,
             window,
+            tuner,
             state: BatchState::Start,
             machine: None,
             scratch: MachineScratch::default(),
@@ -501,6 +531,22 @@ impl<'a> BatchRankTask<'a> {
         }
     }
 
+    /// The look-ahead window gating the stage of entry `e`: the
+    /// tuner's pick for `e`, clamped to `[2, physical window]`. Only
+    /// ever *shrunk* below the slot-ring size — a smaller window waits
+    /// on a *later* done fence (fence indices are monotone per rank,
+    /// so the wait is strictly stronger and the slot certainly free),
+    /// while a larger one could reuse a slot still being read. The
+    /// floor of 2 exists because at the head of entry `e` this rank
+    /// has arrived at done fences `0..e` only — a window of 1 would
+    /// wait on its own not-yet-arrived fence and deadlock.
+    fn eff_window(&self, e: usize) -> usize {
+        match self.tuner {
+            Some(t) if self.window >= 2 => t.setting_for(e).1.clamp(2, self.window),
+            _ => self.window,
+        }
+    }
+
     fn take_out(&mut self) -> BatchRankOut {
         BatchRankOut {
             reports: std::mem::take(&mut self.reports),
@@ -530,8 +576,9 @@ impl RankTask for BatchRankTask<'_> {
                 }
                 BatchState::Head { e } => {
                     if e + 1 < self.plans.len() {
-                        if e + 1 >= self.window {
-                            let f = self.df[e + 1 - self.window];
+                        let w = self.eff_window(e + 1);
+                        if e + 1 >= w {
+                            let f = self.df[e + 1 - w];
                             if !self.fence_poll(f, e + 1) {
                                 self.state = BatchState::WaitSlot { e };
                                 return Step::Park;
@@ -542,7 +589,10 @@ impl RankTask for BatchRankTask<'_> {
                     self.state = BatchState::WaitStaged { e };
                 }
                 BatchState::WaitSlot { e } => {
-                    let f = self.df[e + 1 - self.window];
+                    // eff_window is memoized per entry, so the retry
+                    // polls the same fence the Head attempt did.
+                    let w = self.eff_window(e + 1);
+                    let f = self.df[e + 1 - w];
                     if !self.fence_poll(f, e + 1) {
                         return Step::Park;
                     }
@@ -571,13 +621,22 @@ impl RankTask for BatchRankTask<'_> {
                     if self.machine.is_none() {
                         let plan: &'_ EntryPlan = &self.plans[e];
                         let scratch = std::mem::take(&mut self.scratch);
+                        // The machine copies the options at
+                        // construction, so the tuned prefetch depth is
+                        // applied through a stack-local copy.
+                        let mut eopts = plan.opts;
+                        if let Some(t) = self.tuner {
+                            if eopts.double_buffer {
+                                eopts.prefetch_depth = t.setting_for(e).0;
+                            }
+                        }
                         self.machine = Some(SrummaMachine::new_reusing(
                             &mut self.comm,
                             &plan.spec,
                             &plan.da,
                             &plan.db,
                             &plan.dc,
-                            &plan.opts,
+                            &eopts,
                             scratch,
                         ));
                     }
@@ -606,6 +665,9 @@ impl RankTask for BatchRankTask<'_> {
                     extract_entry(&self.plans[e], self.comm.rank(), &self.outputs[e]);
                     self.samples[e].compute_s += self.comm.now() - t0;
                     self.samples[e].t_end = self.comm.now();
+                    if let Some(t) = self.tuner {
+                        t.record(e, self.samples[e].compute_s);
+                    }
                     self.df.push(self.comm.fence_arrive());
                     debug_assert_eq!(self.df.len(), e + 1);
                     if e + 1 < self.plans.len() {
@@ -684,6 +746,22 @@ fn effective_window(batch: &BatchSpec) -> usize {
     batch.window.clamp(1, batch.entries.len().max(1))
 }
 
+/// The shared tuner state for one run, when the batch's default
+/// options enable it (`SrummaOptions::with_tuner`). The climb starts
+/// from the options' own depth and the physical slot-ring window.
+fn make_tuner_cell(batch: &BatchSpec, nranks: usize) -> Option<TunerCell> {
+    batch.opts.tuner.map(|cfg| {
+        let flops: Vec<f64> = batch.entries.iter().map(|e| e.spec.flops()).collect();
+        TunerCell::new(
+            cfg,
+            nranks,
+            flops,
+            batch.opts.effective_depth().max(1),
+            effective_window(batch),
+        )
+    })
+}
+
 fn empty_result() -> BatchResult {
     BatchResult {
         outputs: Vec::new(),
@@ -708,8 +786,9 @@ pub fn multiply_batch(batch: &BatchSpec, nranks: usize) -> BatchResult {
         .iter()
         .map(|e| Mutex::new(Matrix::zeros(e.spec.m, e.spec.n)))
         .collect();
+    let tuner = make_tuner_cell(batch, nranks);
     let res = thread_run(nranks, |comm| {
-        run_rank_blocking(comm, batch, &plans, &outputs, window)
+        run_rank_blocking(comm, batch, &plans, &outputs, window, tuner.as_ref())
     });
     assemble_batch(batch, outputs, res.outputs, res.wall_seconds)
 }
@@ -729,8 +808,9 @@ pub fn multiply_batch_sim(batch: &BatchSpec, machine: &Machine, nranks: usize) -
         .map(|e| Mutex::new(Matrix::zeros(e.spec.m, e.spec.n)))
         .collect();
     let opts = SimOptions::new(machine.clone(), nranks);
+    let tuner = make_tuner_cell(batch, nranks);
     let res = sim_run(&opts, |comm| {
-        run_rank_blocking(comm, batch, &plans, &outputs, window)
+        run_rank_blocking(comm, batch, &plans, &outputs, window, tuner.as_ref())
     });
     assemble_batch(batch, outputs, res.outputs, res.stats.makespan)
 }
@@ -740,7 +820,23 @@ pub fn multiply_batch_sim(batch: &BatchSpec, machine: &Machine, nranks: usize) -
 /// whole stream, per-entry epoch fences instead of open/close barrier
 /// pairs. This is the tentpole path — independent entries overlap.
 pub fn multiply_batch_exec(batch: &BatchSpec, nranks: usize, workers: usize) -> BatchResult {
-    multiply_batch_exec_inner(batch, nranks, workers, false).0
+    let tuner = make_tuner_cell(batch, nranks);
+    multiply_batch_exec_inner(batch, nranks, workers, false, tuner.as_ref()).0
+}
+
+/// [`multiply_batch_exec`], additionally returning the online tuner's
+/// per-entry trajectory (empty when the batch options leave the tuner
+/// off). The numeric outputs are bitwise identical to
+/// [`multiply_batch_exec`] with the tuner off — the tuned knobs change
+/// fetch scheduling only.
+pub fn multiply_batch_exec_tuned(
+    batch: &BatchSpec,
+    nranks: usize,
+    workers: usize,
+) -> (BatchResult, Vec<TunerStep>) {
+    let tuner = make_tuner_cell(batch, nranks);
+    let res = multiply_batch_exec_inner(batch, nranks, workers, false, tuner.as_ref()).0;
+    (res, tuner.map(|t| t.steps()).unwrap_or_default())
 }
 
 /// [`multiply_batch_exec`] with wall-clock event tracing on: returns
@@ -751,7 +847,8 @@ pub fn multiply_batch_traced(
     nranks: usize,
     workers: usize,
 ) -> (BatchResult, TracedRun) {
-    let (res, traced) = multiply_batch_exec_inner(batch, nranks, workers, true);
+    let tuner = make_tuner_cell(batch, nranks);
+    let (res, traced) = multiply_batch_exec_inner(batch, nranks, workers, true, tuner.as_ref());
     (res, traced.expect("traced run requested"))
 }
 
@@ -760,6 +857,7 @@ fn multiply_batch_exec_inner(
     nranks: usize,
     workers: usize,
     trace: bool,
+    tuner: Option<&TunerCell>,
 ) -> (BatchResult, Option<TracedRun>) {
     if batch.entries.is_empty() {
         return (empty_result(), None);
@@ -773,7 +871,9 @@ fn multiply_batch_exec_inner(
         .map(|e| Mutex::new(Matrix::zeros(e.spec.m, e.spec.n)))
         .collect();
     let res = exec_run_tasks(nranks, workers, trace, |comm| {
-        Box::new(BatchRankTask::new(comm, batch, &plans, &outputs, window))
+        Box::new(BatchRankTask::new(
+            comm, batch, &plans, &outputs, window, tuner,
+        ))
     });
     let traced = if trace {
         Some(TracedRun {

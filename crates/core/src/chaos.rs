@@ -112,7 +112,7 @@ impl<'r, 'a> ChaosSrummaRankTask<'r, 'a> {
             a,
             b,
             c,
-            opts: *opts,
+            opts: opts.clamp_gemm_to(spec.m, spec.k, spec.n),
             plan,
             recovery,
             machine: None,

@@ -318,7 +318,8 @@ pub fn srumma_hier<C: Comm>(
     let (sa, sb) = stages.stages_for(me);
     let staged_panels = stage_panels(comm, a, b, sa, sb, grid, topo, base);
     comm.barrier();
-    let mut machine = SrummaMachine::new(comm, spec, a, b, c, opts).with_hier(HierStages {
+    let opts = opts.clamp_gemm_to(spec.m, spec.k, spec.n);
+    let mut machine = SrummaMachine::new(comm, spec, a, b, c, &opts).with_hier(HierStages {
         sa,
         sb,
         topo,
@@ -385,7 +386,7 @@ impl<'a> HierRankTask<'a> {
             a,
             b,
             c,
-            opts: *opts,
+            opts: opts.clamp_gemm_to(spec.m, spec.k, spec.n),
             stages,
             machine: None,
             staged_panels: 0,

@@ -46,11 +46,12 @@ pub mod repl;
 pub mod srumma;
 pub mod summa;
 pub mod taskorder;
+pub mod tune;
 
 pub use api::{parallel_gemm, Algorithm};
 pub use batch::{
-    batch_serial_reference, multiply_batch, multiply_batch_exec, multiply_batch_sim,
-    multiply_batch_traced, BatchEntry, BatchResult, BatchSpec,
+    batch_serial_reference, multiply_batch, multiply_batch_exec, multiply_batch_exec_tuned,
+    multiply_batch_sim, multiply_batch_traced, BatchEntry, BatchResult, BatchSpec,
 };
 pub use chaos::{ChaosRecovery, ChaosSrummaRankTask};
 pub use driver::SparseMasks;
@@ -58,7 +59,7 @@ pub use hier::{
     multiply_exec_hier, multiply_threads_hier, multiply_verified_hier, srumma_hier, HierRankTask,
     HierReport, HierStageSet, HierStages,
 };
-pub use options::{GemmSpec, ReplicationFactor, ShmemFlavor, SrummaOptions};
+pub use options::{GemmSpec, ReplicationFactor, ShmemFlavor, SrummaOptions, TunerConfig};
 pub use repl::{
     multiply_exec_replicated, multiply_threads_replicated, multiply_threads_replicated_hier,
     multiply_verified_replicated, resolve_factor, srumma_replicated, srumma_replicated_hier,
@@ -66,3 +67,7 @@ pub use repl::{
 };
 pub use srumma::{srumma as srumma_gemm, SrummaMachine, SrummaRankTask, SrummaReport};
 pub use summa::SummaOptions;
+pub use tune::{
+    autotune_decision, multiply_autotuned, AutotuneDecision, HostProfile, ProfileError, Tuner,
+    TunerCell, TunerStep, PROFILE_VERSION,
+};

@@ -631,7 +631,7 @@ impl<'a> SrummaRankTask<'a> {
             a,
             b,
             c,
-            opts: *opts,
+            opts: opts.clamp_gemm_to(spec.m, spec.k, spec.n),
             machine: None,
             report: None,
         }
@@ -692,7 +692,11 @@ pub fn srumma<C: Comm>(
     c: &DistMatrix,
     opts: &SrummaOptions,
 ) -> SrummaReport {
-    let mut machine = SrummaMachine::new(comm, spec, a, b, c, opts);
+    // One spec per run, so clamping explicit cache blocks to the
+    // problem shape here is uniform across every configure_gemm this
+    // comm sees (bitwise-neutral; see `GemmConfig::clamped_to`).
+    let opts = opts.clamp_gemm_to(spec.m, spec.k, spec.n);
+    let mut machine = SrummaMachine::new(comm, spec, a, b, c, &opts);
     while machine.step(comm) {}
     let report = machine.finish();
     comm.barrier();

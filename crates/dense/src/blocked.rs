@@ -208,6 +208,70 @@ impl GemmConfig {
             strassen_cutoff: env_strassen(),
         }
     }
+
+    /// Clamp explicit cache blocks to a known problem shape (or a
+    /// stream's high-water shape): `min(block, dim)` per dimension.
+    ///
+    /// A cache block that already covers a dimension tiles it as one
+    /// chunk whether it is `dim` or ten times `dim`, so for every gemm
+    /// call whose dims fit the clamp this changes nothing — outputs
+    /// stay bitwise identical. What does change is the workspace
+    /// demand ([`GemmWorkspace::reserve`] sizes `apack`/`bpack` from
+    /// the configured blocks): a host profile calibrated at paper
+    /// scale (say `kc = nc = 512`) would otherwise make every rank of
+    /// a small-stream pool allocate — and first-touch — megabytes of
+    /// panel it can never use. Auto blocks (`None`) are left to the
+    /// resolver untouched.
+    pub fn clamped_to(mut self, m: usize, k: usize, n: usize) -> Self {
+        if let Some(b) = &mut self.blocks {
+            b.mc = b.mc.min(m.max(1));
+            b.kc = b.kc.min(k.max(1));
+            b.nc = b.nc.min(n.max(1));
+        }
+        self
+    }
+}
+
+/// The environment knobs an explicit `cfg` overrides: for each of
+/// `SRUMMA_KERNEL` / `SRUMMA_LAYOUT` / `SRUMMA_STRASSEN` that is both
+/// *set* and *contradicted* by the config, the variable's name. Empty
+/// when no knob is set or the config agrees with the environment (a
+/// `GemmConfig::from_env()`-derived config never conflicts).
+///
+/// Precedence is uniform everywhere: an explicit `GemmConfig` (whether
+/// set directly, through `SrummaOptions`, or resolved from a host
+/// profile) beats the environment. [`GemmWorkspace::configured`] calls
+/// this and warns **once per process** when the override is exercised,
+/// so a user who exported `SRUMMA_KERNEL=avx2` and then ran a
+/// profile-pinned benchmark learns which setting actually applied.
+pub fn explicit_env_conflicts(cfg: &GemmConfig) -> Vec<&'static str> {
+    let mut conflicts = Vec::new();
+    if let Some(kernel) = cfg.kernel {
+        if std::env::var("SRUMMA_KERNEL").is_ok() && kernel != active_kernel() {
+            conflicts.push("SRUMMA_KERNEL");
+        }
+    }
+    if std::env::var("SRUMMA_LAYOUT").is_ok() && cfg.layout != env_layout() {
+        conflicts.push("SRUMMA_LAYOUT");
+    }
+    if std::env::var("SRUMMA_STRASSEN").is_ok() && cfg.strassen_cutoff != env_strassen() {
+        conflicts.push("SRUMMA_STRASSEN");
+    }
+    conflicts
+}
+
+fn warn_env_overridden(cfg: &GemmConfig) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    let conflicts = explicit_env_conflicts(cfg);
+    if !conflicts.is_empty() {
+        WARNED.call_once(|| {
+            eprintln!(
+                "srumma: explicit gemm configuration overrides {} (explicit config wins \
+                 over environment; this is reported once)",
+                conflicts.join(", ")
+            );
+        });
+    }
 }
 
 /// Reusable per-caller gemm state: the packing buffers, the cache-block
@@ -288,6 +352,7 @@ impl GemmWorkspace {
     /// # Panics
     /// Panics if the pinned kernel is not available on this host.
     pub fn configured(cfg: GemmConfig) -> Self {
+        warn_env_overridden(&cfg);
         let kernel = cfg.kernel.unwrap_or_else(active_kernel);
         assert!(
             kernel.available(),
@@ -366,7 +431,11 @@ impl GemmWorkspace {
 
     /// Make sure the packing buffers cover one full (mc × kc) A panel
     /// and one (kc × nc) B panel. Buffer demand depends only on the
-    /// workspace configuration, so this grows at most once.
+    /// workspace configuration, so this grows at most once — and the
+    /// allocation is zero-page-backed ([`AlignedBuf::grow_to`]), so a
+    /// small multiply under a big-block configuration (e.g. a host
+    /// profile calibrated at paper scale) only ever touches the panel
+    /// prefix it actually packs.
     fn reserve(&mut self) {
         let (mr, nr) = (self.kernel.mr(), self.kernel.nr());
         let a_need = match self.layout {

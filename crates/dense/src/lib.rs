@@ -54,7 +54,7 @@ pub mod strassen;
 pub mod verify;
 pub mod zorder;
 
-pub use blocked::{BlockSizes, GemmConfig, GemmWorkspace, PackLayout};
+pub use blocked::{explicit_env_conflicts, BlockSizes, GemmConfig, GemmWorkspace, PackLayout};
 pub use effmodel::EffModel;
 pub use gemm::{dgemm, dgemm_into, dgemm_ws, Op};
 pub use kernel::{active_kernel, Microkernel};

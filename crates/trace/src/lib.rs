@@ -31,11 +31,15 @@ pub mod batchstats;
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod jsonin;
+pub mod paths;
 pub mod recorder;
 pub mod stats;
 
 pub use batchstats::{BatchStats, EntryRankSample, EntryStats};
 pub use event::{TraceEvent, TraceKind};
 pub use export::{ascii_gantt, bench_report_json, chrome_trace_json};
+pub use jsonin::Json;
+pub use paths::{ensure_results_dir, host_profile_path, results_dir};
 pub use recorder::{Counters, Recorder};
 pub use stats::{ExecStats, RankStats, RunStats};

@@ -1,0 +1,89 @@
+//! Where result artifacts live, independent of the current directory.
+//!
+//! Every harness in the workspace writes its artifacts — `BENCH_*.json`
+//! reports, CSV tables, the calibration profiles — under one `results/`
+//! directory. Historically each binary wrote the literal relative path
+//! `"results/…"`, which silently scattered files wherever the binary
+//! happened to be launched from. [`results_dir`] resolves the directory
+//! once, the same way for every writer *and* reader (the profile loader
+//! in `srumma-core` must find the file `calibrate` wrote):
+//!
+//! 1. `SRUMMA_RESULTS_DIR`, when set — an explicit deployment override
+//!    (CI sandboxes, read-only checkouts);
+//! 2. the first ancestor of the current directory that looks like the
+//!    workspace root (has both `Cargo.toml` and `crates/`), so
+//!    `cargo run` from any subdirectory of the repo lands in the repo's
+//!    `results/`;
+//! 3. the workspace this binary was compiled from (baked in at build
+//!    time) — covers running a built binary from an unrelated cwd.
+
+use std::path::{Path, PathBuf};
+
+/// The resolved `results/` directory (see the module docs for the
+/// three-step resolution). The directory is **not** created here —
+/// writers call [`ensure_results_dir`].
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("SRUMMA_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    if let Ok(cwd) = std::env::current_dir() {
+        for dir in cwd.ancestors() {
+            if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+                return dir.join("results");
+            }
+        }
+    }
+    // `CARGO_MANIFEST_DIR` of this crate is `<workspace>/crates/trace`.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate manifest dir has a workspace root two levels up")
+        .join("results")
+}
+
+/// [`results_dir`], created if missing. Errors carry the attempted path
+/// so a misconfigured `SRUMMA_RESULTS_DIR` fails loudly instead of
+/// scattering files.
+pub fn ensure_results_dir() -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("cannot create results dir {}: {e}", dir.display()),
+        )
+    })?;
+    Ok(dir)
+}
+
+/// The canonical location of the persisted host calibration profile
+/// (see `srumma_core::tune`): `<results_dir>/host_profile.json`.
+pub fn host_profile_path() -> PathBuf {
+    results_dir().join("host_profile.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_to_a_results_directory() {
+        // Whatever branch fires, the leaf component is `results` (an
+        // explicit SRUMMA_RESULTS_DIR may point anywhere, but tests run
+        // under cargo with the variable unset or repo-pointed).
+        let dir = results_dir();
+        assert!(
+            dir.ends_with("results") || std::env::var("SRUMMA_RESULTS_DIR").is_ok(),
+            "unexpected results dir {}",
+            dir.display()
+        );
+    }
+
+    #[test]
+    fn profile_path_is_under_results() {
+        let p = host_profile_path();
+        assert_eq!(p.file_name().unwrap(), "host_profile.json");
+        assert_eq!(p.parent().unwrap(), results_dir());
+    }
+}

@@ -54,6 +54,15 @@ timeout 300 cargo run --release -q -p srumma-bench \
 timeout 300 env SRUMMA_KERNEL=scalar cargo run --release -q -p srumma-bench \
     --bin bench_sparse_gemm -- --smoke
 
+echo "== autotune smoke: probe path + tuner neutrality on 2 workers =="
+# The zero-config probe path (multiply_autotuned) end-to-end, then a
+# tuner-on vs tuner-off batch on an oversubscribed pool. The smoke
+# hard-asserts bitwise-identical outputs (the tuner may only move
+# scheduling knobs) and bounded tuner overhead; a window-clamp bug in
+# the tuned fence gating deadlocks, so the run is bounded.
+timeout 300 cargo run --release -q -p srumma-bench \
+    --bin bench_autotune -- --smoke
+
 echo "== chaos pass: fault injection under fixed-seed plans =="
 # The chaos suite injects stragglers, spiked gets and a rank death
 # (with task re-execution) from seeded FaultPlans. Its failure modes
@@ -164,6 +173,31 @@ if [ -f results/BENCH_executor_scaling.json ]; then
     fi
 else
     echo "no checked-in baseline (results/BENCH_executor_scaling.json); skipping"
+fi
+
+echo "== perf gate (warn): tuned vs static-Auto batch streams =="
+# The self-tuning runtime must pay for itself: bench_autotune itself
+# hard-fails if the tuner costs more than 5% on any config
+# (tuned_speedup_min < 0.95), and the diff against the checked-in
+# baseline is warn-only on top — wall-clock ratios on a loaded runner
+# are too noisy for a hard cross-host gate.
+if [ -f results/BENCH_autotune.json ]; then
+    # The quick run's own in-bench gate is warn-only here too: on a
+    # loaded 1-core runner the 2-sample quick sweep can dip below the
+    # 0.95 floor on noise alone; the full sweep owns the hard gate.
+    rm -f /tmp/BENCH_autotune.json
+    if ! timeout 600 cargo run --release -q -p srumma-bench --bin bench_autotune -- \
+        --quick --out /tmp/BENCH_autotune.json >/dev/null; then
+        echo "WARNING: quick autotune sweep tripped its in-bench gate (warn-only in CI)"
+    fi
+    if [ -f /tmp/BENCH_autotune.json ]; then
+        if ! ./scripts/bench_diff results/BENCH_autotune.json /tmp/BENCH_autotune.json \
+            --strict --threshold 40 --only tuned_speedup; then
+            echo "WARNING: tuned-vs-static speedup moved vs checked-in baseline (warn-only gate)"
+        fi
+    fi
+else
+    echo "no checked-in baseline (results/BENCH_autotune.json); skipping"
 fi
 
 echo "== perf gate (warn): block-sparse speedup vs density =="

@@ -47,6 +47,7 @@ fn random_srumma(rng: &mut Rng) -> SrummaOptions {
             ShmemFlavor::ForceDirect,
         ]),
         gemm: None,
+        tuner: None,
     }
 }
 
